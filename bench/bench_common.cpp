@@ -1,0 +1,68 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "stats/summary.hpp"
+
+namespace ictm::bench {
+
+void PrintSummaryLine(const std::string& name,
+                      const std::vector<double>& xs) {
+  const stats::Summary s = stats::Summarize(xs);
+  std::printf(
+      "%-28s mean=%9.4f  p10=%9.4f  p50=%9.4f  p90=%9.4f  min=%9.4f  "
+      "max=%9.4f\n",
+      name.c_str(), s.mean, stats::Quantile(xs, 0.1),
+      stats::Quantile(xs, 0.5), stats::Quantile(xs, 0.9), s.min, s.max);
+}
+
+void PrintSeries(const std::string& name, const std::vector<double>& xs,
+                 std::size_t points) {
+  std::printf("%s (n=%zu, showing %zu points):\n", name.c_str(), xs.size(),
+              std::min(points, xs.size()));
+  const std::size_t step = std::max<std::size_t>(1, xs.size() / points);
+  for (std::size_t t = 0; t < xs.size(); t += step) {
+    std::printf("  t=%5zu  %12.5g\n", t, xs[t]);
+  }
+}
+
+void PrintHeader(const std::string& figure, const std::string& claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("paper: %s\n", claim.c_str());
+  std::printf("(simulated datasets; compare shape, not absolute values)\n");
+  std::printf("==============================================================\n");
+}
+
+dataset::DatasetConfig BenchGeantConfig(std::uint64_t seed) {
+  dataset::DatasetConfig cfg;
+  cfg.seed = seed;
+  cfg.peakActivityBytes = 2e8;  // reduced for bench runtime
+  return cfg;
+}
+
+dataset::DatasetConfig BenchTotemConfig(std::uint64_t seed) {
+  dataset::DatasetConfig cfg;
+  cfg.seed = seed;
+  cfg.peakActivityBytes = 2e8;
+  return cfg;
+}
+
+WeeklyFitResult FitWeekly(bool totem, std::size_t weeks,
+                          std::uint64_t seed) {
+  dataset::DatasetConfig cfg =
+      totem ? BenchTotemConfig(seed) : BenchGeantConfig(seed);
+  cfg.weeks = weeks;
+  WeeklyFitResult out{
+      totem ? dataset::MakeTotemLike(cfg) : dataset::MakeGeantLike(cfg),
+      {}};
+  const std::size_t binsPerWeek = out.data.binsPerWeek;
+  for (std::size_t w = 0; w < weeks; ++w) {
+    const auto week = out.data.measured.slice(w * binsPerWeek, binsPerWeek);
+    out.fits.push_back(core::FitStableFP(week));
+  }
+  return out;
+}
+
+}  // namespace ictm::bench

@@ -1,0 +1,45 @@
+// Shared helpers for the per-figure benchmark harnesses.
+//
+// Each bench binary regenerates one table/figure of the paper on the
+// simulated datasets (see DESIGN.md §2 for the substitution note) and
+// prints the same series/rows the paper plots, plus the paper's
+// reported band for comparison.  Figures are emitted as plain text:
+// a downsampled time series plus summary statistics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/fit.hpp"
+#include "dataset/datasets.hpp"
+
+namespace ictm::bench {
+
+/// Prints "name: mean=... p10=... p50=... p90=... min=... max=...".
+void PrintSummaryLine(const std::string& name,
+                      const std::vector<double>& xs);
+
+/// Prints a downsampled rendering of a series: `points` evenly spaced
+/// (index, value) rows, prefixed by `name`.
+void PrintSeries(const std::string& name, const std::vector<double>& xs,
+                 std::size_t points = 16);
+
+/// Prints the standard experiment header with the paper's expectation.
+void PrintHeader(const std::string& figure, const std::string& claim);
+
+/// Dataset configurations used across the benches.  Peak activity is
+/// reduced from the realistic default to keep each harness under a
+/// minute; the gravity/IC comparison is insensitive to absolute scale.
+dataset::DatasetConfig BenchGeantConfig(std::uint64_t seed = 1);
+dataset::DatasetConfig BenchTotemConfig(std::uint64_t seed = 2);
+
+/// Generates `weeks` of data and fits the stable-fP model to each week
+/// separately, returning the per-week fits (used by Figs. 5-8).
+struct WeeklyFitResult {
+  dataset::Dataset data;
+  std::vector<core::StableFPFit> fits;
+};
+WeeklyFitResult FitWeekly(bool totem, std::size_t weeks,
+                          std::uint64_t seed);
+
+}  // namespace ictm::bench

@@ -1,0 +1,46 @@
+// Common error-handling utilities for the ictm library.
+//
+// All precondition violations throw ictm::Error (derived from
+// std::runtime_error) carrying the failing expression and location.
+// Per the C++ Core Guidelines (E.2, I.5) we prefer exceptions for
+// error reporting and keep interfaces precondition-checked.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ictm {
+
+/// Exception type thrown on any precondition or invariant violation
+/// inside the ictm library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void ThrowRequireFailure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::string full = "ictm requirement failed: ";
+  full += expr;
+  full += " at ";
+  full += file;
+  full += ":";
+  full += std::to_string(line);
+  if (!msg.empty()) {
+    full += " — ";
+    full += msg;
+  }
+  throw Error(full);
+}
+}  // namespace detail
+
+}  // namespace ictm
+
+/// Checks a precondition; throws ictm::Error with location info on failure.
+#define ICTM_REQUIRE(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::ictm::detail::ThrowRequireFailure(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                        \
+  } while (false)

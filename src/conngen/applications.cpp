@@ -1,0 +1,80 @@
+#include "conngen/applications.hpp"
+
+#include <cmath>
+
+namespace ictm::conngen {
+
+ApplicationMix::ApplicationMix(std::vector<AppProfile> profiles)
+    : profiles_(std::move(profiles)) {
+  ICTM_REQUIRE(!profiles_.empty(), "application mix cannot be empty");
+  double totalWeight = 0.0;
+  for (const auto& p : profiles_) {
+    p.validate();
+    totalWeight += p.mixWeight;
+  }
+  ICTM_REQUIRE(totalWeight > 0.0, "application mix has zero total weight");
+}
+
+const AppProfile& ApplicationMix::profile(std::size_t i) const {
+  ICTM_REQUIRE(i < profiles_.size(), "profile index out of range");
+  return profiles_[i];
+}
+
+double ApplicationMix::expectedForwardFraction() const {
+  double num = 0.0;
+  double den = 0.0;
+  for (const auto& p : profiles_) {
+    // Lognormal mean of total connection bytes.
+    const double meanBytes =
+        std::exp(p.logMeanBytes + 0.5 * p.logSigmaBytes * p.logSigmaBytes);
+    num += p.mixWeight * meanBytes * p.forwardFraction;
+    den += p.mixWeight * meanBytes;
+  }
+  return num / den;
+}
+
+ApplicationMix ApplicationMix::normalized() const {
+  double total = 0.0;
+  for (const auto& p : profiles_) total += p.mixWeight;
+  std::vector<AppProfile> scaled = profiles_;
+  for (auto& p : scaled) p.mixWeight /= total;
+  return ApplicationMix(std::move(scaled));
+}
+
+ApplicationMix DefaultMix2006() {
+  // Forward fractions follow Paxson [15] (telnet ~0.05) and Tstat [12]
+  // (HTTP ~0.06, Gnutella ~0.35); sizes are heavy-tailed lognormals.
+  // The byte-weighted aggregate forward fraction of this mix is ~0.25,
+  // inside the paper's observed 0.2-0.3 band (Fig. 4).
+  // Sizes are expressed at "flow bundle" granularity (hundreds of KB
+  // mean — each draw stands for a batch of same-app connections between
+  // the same hosts) so that PoP-level bins aggregate hundreds to
+  // thousands of draws, matching the high aggregation of real backbone
+  // OD flows.  Relative size ordering across apps is preserved.
+  return ApplicationMix({
+      {"web", 0.10, 0.46, 10.8, 1.2},
+      {"p2p", 0.42, 0.22, 12.9, 1.2},
+      {"ftp", 0.06, 0.05, 13.4, 1.2},
+      {"smtp", 0.75, 0.13, 10.1, 1.0},
+      {"nntp", 0.12, 0.04, 12.2, 1.1},
+      {"interactive", 0.35, 0.10, 9.0, 0.9},
+  });
+}
+
+ApplicationMix WebHeavyMix() {
+  return ApplicationMix({
+      {"web", 0.08, 0.85, 10.8, 1.2},
+      {"smtp", 0.75, 0.08, 10.1, 1.0},
+      {"interactive", 0.35, 0.07, 9.0, 0.9},
+  });
+}
+
+ApplicationMix P2pHeavyMix() {
+  return ApplicationMix({
+      {"p2p", 0.40, 0.70, 12.9, 1.2},
+      {"web", 0.08, 0.25, 10.8, 1.2},
+      {"smtp", 0.75, 0.05, 10.1, 1.0},
+  });
+}
+
+}  // namespace ictm::conngen

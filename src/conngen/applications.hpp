@@ -1,0 +1,71 @@
+// Application traffic profiles.
+//
+// The paper grounds the forward-fraction parameter f in application
+// behaviour: Web/FTP are highly asymmetric (f ~ 0.05-0.06 per Paxson
+// [15] and Tstat [12]), P2P is milder (f ~ 0.35 for Gnutella), and the
+// network-wide mix lands at f ~ 0.2-0.3.  The workload generator draws
+// each connection's application from a mix and uses the per-app
+// forward fraction, so aggregate f emerges rather than being imposed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ictm::conngen {
+
+/// Static description of one application class.
+struct AppProfile {
+  std::string name;
+  /// Forward fraction: forward bytes / (forward + reverse bytes).
+  double forwardFraction = 0.25;
+  /// Relative share of *connections* belonging to this app.
+  double mixWeight = 1.0;
+  /// Log-space mean of total (fwd+rev) connection bytes.
+  double logMeanBytes = 9.0;  // ~ 8 KB
+  /// Log-space sigma of total connection bytes.
+  double logSigmaBytes = 1.5;
+
+  void validate() const {
+    ICTM_REQUIRE(forwardFraction > 0.0 && forwardFraction < 1.0,
+                 "forwardFraction must be in (0,1)");
+    ICTM_REQUIRE(mixWeight >= 0.0, "mixWeight must be >= 0");
+    ICTM_REQUIRE(logSigmaBytes > 0.0, "logSigmaBytes must be > 0");
+  }
+};
+
+/// An application mix: a weighted set of profiles.
+class ApplicationMix {
+ public:
+  explicit ApplicationMix(std::vector<AppProfile> profiles);
+
+  const std::vector<AppProfile>& profiles() const noexcept {
+    return profiles_;
+  }
+  std::size_t size() const noexcept { return profiles_.size(); }
+  const AppProfile& profile(std::size_t i) const;
+
+  /// Byte-weighted expected forward fraction of the whole mix:
+  /// sum_a w_a * E[bytes_a] * f_a / sum_a w_a * E[bytes_a].
+  double expectedForwardFraction() const;
+
+  /// Returns a copy with every mixWeight scaled so they sum to 1.
+  ApplicationMix normalized() const;
+
+ private:
+  std::vector<AppProfile> profiles_;
+};
+
+/// The default 2006-era mix: Web-dominated with a substantial P2P
+/// share, plus FTP/SMTP/NNTP/interactive.  Its byte-weighted forward
+/// fraction lands in the paper's observed 0.2-0.3 band.
+ApplicationMix DefaultMix2006();
+
+/// A Web-heavy mix (lower aggregate f, ~0.1) for what-if experiments.
+ApplicationMix WebHeavyMix();
+
+/// A P2P-heavy mix (higher aggregate f, ~0.35) for what-if experiments.
+ApplicationMix P2pHeavyMix();
+
+}  // namespace ictm::conngen

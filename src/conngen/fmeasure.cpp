@@ -1,0 +1,106 @@
+#include "conngen/fmeasure.hpp"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace ictm::conngen {
+
+namespace {
+
+enum class Initiator { kUnknown, kSideA, kSideB };
+
+}  // namespace
+
+FMeasurement MeasureForwardFraction(const LinkTracePair& trace,
+                                    double binSeconds) {
+  ICTM_REQUIRE(binSeconds > 0.0, "bin size must be positive");
+  ICTM_REQUIRE(trace.durationSec > 0.0, "empty trace window");
+  const std::size_t bins = static_cast<std::size_t>(
+      std::ceil(trace.durationSec / binSeconds));
+  ICTM_REQUIRE(bins > 0, "trace shorter than one bin");
+
+  // Pass 1: find each flow's initiator from SYN observations.
+  std::unordered_map<std::uint64_t, Initiator> initiator;
+  initiator.reserve(trace.aToB.size() / 4 + trace.bToA.size() / 4 + 1);
+  for (const PacketRecord& p : trace.aToB) {
+    if (p.syn) initiator[p.flowId] = Initiator::kSideA;
+  }
+  for (const PacketRecord& p : trace.bToA) {
+    if (p.syn) initiator[p.flowId] = Initiator::kSideB;
+  }
+
+  // Pass 2: per-bin byte tallies.
+  std::vector<double> iA(bins, 0.0);  // A->B link, A-initiated (forward)
+  std::vector<double> rA(bins, 0.0);  // A->B link, B-initiated (reverse)
+  std::vector<double> iB(bins, 0.0);  // B->A link, B-initiated (forward)
+  std::vector<double> rB(bins, 0.0);  // B->A link, A-initiated (reverse)
+  double unknownBytes = 0.0;
+  double totalBytes = 0.0;
+
+  auto binOf = [&](double ts) {
+    std::size_t b = static_cast<std::size_t>(ts / binSeconds);
+    return b >= bins ? bins - 1 : b;
+  };
+
+  for (const PacketRecord& p : trace.aToB) {
+    totalBytes += p.bytes;
+    const auto it = initiator.find(p.flowId);
+    if (it == initiator.end()) {
+      unknownBytes += p.bytes;
+      continue;
+    }
+    const std::size_t b = binOf(p.timestampSec);
+    if (it->second == Initiator::kSideA) {
+      iA[b] += p.bytes;
+    } else {
+      rA[b] += p.bytes;
+    }
+  }
+  for (const PacketRecord& p : trace.bToA) {
+    totalBytes += p.bytes;
+    const auto it = initiator.find(p.flowId);
+    if (it == initiator.end()) {
+      unknownBytes += p.bytes;
+      continue;
+    }
+    const std::size_t b = binOf(p.timestampSec);
+    if (it->second == Initiator::kSideB) {
+      iB[b] += p.bytes;
+    } else {
+      rB[b] += p.bytes;
+    }
+  }
+
+  FMeasurement out;
+  out.binSeconds = binSeconds;
+  out.unknownByteFraction =
+      totalBytes > 0.0 ? unknownBytes / totalBytes : 0.0;
+  out.fAB.resize(bins);
+  out.fBA.resize(bins);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t b = 0; b < bins; ++b) {
+    // f_AB = I_A / (I_A + R_B): forward bytes of A-initiated
+    // connections over their total (forward + reverse) bytes.
+    out.fAB[b] = (iA[b] + rB[b]) > 0.0 ? iA[b] / (iA[b] + rB[b]) : nan;
+    out.fBA[b] = (iB[b] + rA[b]) > 0.0 ? iB[b] / (iB[b] + rA[b]) : nan;
+  }
+  return out;
+}
+
+double MeanFiniteF(const std::vector<double>& series) {
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (double v : series) {
+    if (std::isfinite(v)) {
+      acc += v;
+      ++count;
+    }
+  }
+  ICTM_REQUIRE(count > 0, "no finite f measurements");
+  return acc / static_cast<double>(count);
+}
+
+}  // namespace ictm::conngen

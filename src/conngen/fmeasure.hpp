@@ -1,0 +1,43 @@
+// Forward-fraction measurement from bidirectional packet traces —
+// the exact procedure of paper Sec. 5.2:
+//
+//   1. match flows across the two link traces by 5-tuple,
+//   2. identify the initiator as the sender of the TCP SYN,
+//   3. per time bin, accumulate
+//        I_i: bytes on link i->j from connections initiated at i,
+//        R_i: bytes on link i->j from connections initiated at j,
+//      (and symmetrically I_j, R_j),
+//   4. classify traffic with no observed SYN as unknown (connections
+//      that started before the trace),
+//   5. report f_ij = I_i / (I_i + R_j) per bin.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "conngen/packet_trace.hpp"
+
+namespace ictm::conngen {
+
+/// Per-bin f measurements for both directions of a link pair.
+struct FMeasurement {
+  /// f for OD direction A->B per bin: I_A / (I_A + R_B).
+  std::vector<double> fAB;
+  /// f for OD direction B->A per bin: I_B / (I_B + R_A).
+  std::vector<double> fBA;
+  /// Fraction of total observed bytes that could not be attributed to
+  /// an initiator (no SYN in the trace window).
+  double unknownByteFraction = 0.0;
+  double binSeconds = 300.0;
+};
+
+/// Runs the Sec. 5.2 procedure on a trace pair with the given bin size
+/// (the paper uses 5-minute bins).  Bins with no attributable traffic
+/// report NaN for that direction.
+FMeasurement MeasureForwardFraction(const LinkTracePair& trace,
+                                    double binSeconds = 300.0);
+
+/// Convenience: mean of the finite per-bin values in `series`.
+double MeanFiniteF(const std::vector<double>& series);
+
+}  // namespace ictm::conngen

@@ -1,0 +1,131 @@
+#include "conngen/generator.hpp"
+
+#include <cmath>
+
+#include "stats/distributions.hpp"
+
+namespace ictm::conngen {
+
+namespace {
+
+// Deterministic per-(i,j) jitter seed so a pair's f bias is stable over
+// time (the paper's f_ij is a property of the pair, not of the bin).
+std::uint64_t PairSeed(std::size_t i, std::size_t j) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  h ^= (static_cast<std::uint64_t>(i) + 1) * 0xbf58476d1ce4e5b9ull;
+  h ^= (static_cast<std::uint64_t>(j) + 1) * 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+double Logit(double p) { return std::log(p / (1.0 - p)); }
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+GeneratedTraffic GenerateTraffic(const GeneratorConfig& config,
+                                 double binSeconds, stats::Rng& rng) {
+  return GenerateTraffic(config, binSeconds, rng, nullptr);
+}
+
+GeneratedTraffic GenerateTraffic(const GeneratorConfig& config,
+                                 double binSeconds, stats::Rng& rng,
+                                 std::vector<Connection>* outConnections) {
+  const std::size_t n = config.activities.size();
+  ICTM_REQUIRE(n > 0, "no nodes in generator config");
+  ICTM_REQUIRE(config.preferences.size() == n,
+               "preferences size must match node count");
+  ICTM_REQUIRE(config.routingAsymmetry >= 0.0 &&
+                   config.routingAsymmetry <= 1.0,
+               "routingAsymmetry out of [0,1]");
+  ICTM_REQUIRE(config.pairFJitterSigma >= 0.0,
+               "pairFJitterSigma must be >= 0");
+  const std::size_t bins = config.activities.front().size();
+  ICTM_REQUIRE(bins > 0, "generator needs at least one bin");
+  for (const auto& a : config.activities) {
+    ICTM_REQUIRE(a.size() == bins, "ragged activity matrix");
+    for (double v : a) ICTM_REQUIRE(v >= 0.0, "negative activity");
+  }
+
+  stats::DiscreteSampler responderSampler(config.preferences);
+  const auto& apps = config.mix.profiles();
+  std::vector<double> appWeights;
+  appWeights.reserve(apps.size());
+  for (const auto& p : apps) appWeights.push_back(p.mixWeight);
+  stats::DiscreteSampler appSampler(appWeights);
+
+  // Precompute per-pair f jitter offsets (logit-space).
+  linalg::Matrix fJitter(n, n, 0.0);
+  if (config.pairFJitterSigma > 0.0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        stats::Rng pairRng(PairSeed(i, j));
+        fJitter(i, j) = pairRng.gaussian(0.0, config.pairFJitterSigma);
+      }
+    }
+  }
+
+  GeneratedTraffic result{
+      traffic::TrafficMatrixSeries(n, bins, binSeconds), 0, 0.0};
+  double totalFwd = 0.0;
+  double totalBytes = 0.0;
+
+  for (std::size_t t = 0; t < bins; ++t) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double target = config.activities[i][t];
+      double generated = 0.0;
+      // Draw connections until node i's activity target for this bin is
+      // met.  The last connection is kept whole (slight overshoot) so
+      // sizes stay heavy-tailed rather than truncated.
+      while (generated < target) {
+        std::size_t responder = responderSampler.sample(rng);
+        if (!config.allowSelfConnections) {
+          std::size_t guard = 0;
+          while (responder == i && ++guard < 64) {
+            responder = responderSampler.sample(rng);
+          }
+          if (responder == i) break;  // degenerate preference vector
+        }
+        const std::size_t appIdx = appSampler.sample(rng);
+        const AppProfile& app = apps[appIdx];
+
+        const double bytes = std::exp(
+            rng.gaussian(app.logMeanBytes, app.logSigmaBytes));
+        double f = app.forwardFraction;
+        if (config.pairFJitterSigma > 0.0) {
+          f = Sigmoid(Logit(f) + fJitter(i, responder));
+        }
+        const double fwd = bytes * f;
+        const double rev = bytes - fwd;
+
+        result.series(t, i, responder) += fwd;
+        // Routing asymmetry: some reverse traffic exits at a different
+        // node than the initiator's ingress (hot-potato, Sec. 5.6).
+        if (config.routingAsymmetry > 0.0 &&
+            rng.bernoulli(config.routingAsymmetry) && n > 1) {
+          std::size_t other = static_cast<std::size_t>(
+              rng.uniformInt(0, n - 2));
+          if (other >= i) ++other;
+          result.series(t, responder, other) += rev;
+        } else {
+          result.series(t, responder, i) += rev;
+        }
+
+        generated += bytes;
+        totalFwd += fwd;
+        totalBytes += bytes;
+        ++result.connectionCount;
+        if (outConnections != nullptr) {
+          outConnections->push_back(
+              Connection{i, responder, appIdx, fwd, rev, t});
+        }
+      }
+    }
+  }
+
+  result.realizedForwardFraction =
+      totalBytes > 0.0 ? totalFwd / totalBytes : 0.0;
+  return result;
+}
+
+}  // namespace ictm::conngen

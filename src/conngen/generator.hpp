@@ -1,0 +1,77 @@
+// Connection-level traffic generator.
+//
+// This is the ground-truth substrate replacing the paper's netflow
+// datasets: traffic matrices *emerge* from independently drawn
+// connections — each with an initiator node (proportional to node
+// activity), a responder node (proportional to node preference,
+// independent of the initiator), an application (hence a forward
+// fraction), and a heavy-tailed size.  Forward bytes land in
+// X[initiator][responder], reverse bytes in X[responder][initiator],
+// exactly the mechanism the IC model formalises (paper Sec. 3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "conngen/applications.hpp"
+#include "stats/rng.hpp"
+#include "traffic/tm_series.hpp"
+
+namespace ictm::conngen {
+
+/// One generated connection (aggregated, no per-packet detail).
+struct Connection {
+  std::size_t initiator = 0;
+  std::size_t responder = 0;
+  std::size_t appIndex = 0;
+  double forwardBytes = 0.0;
+  double reverseBytes = 0.0;
+  std::size_t bin = 0;
+};
+
+/// Configuration of the generator.
+struct GeneratorConfig {
+  /// Per-node, per-bin activity targets: activities[i][t] is the total
+  /// (fwd+rev) byte volume initiated at node i during bin t.
+  std::vector<std::vector<double>> activities;
+  /// Per-node preference weights (>= 0, at least one positive).  Not
+  /// required to sum to 1 (normalised internally, as in the paper).
+  std::vector<double> preferences;
+  /// Application mix.
+  ApplicationMix mix = DefaultMix2006();
+  /// When true a connection's responder may equal its initiator
+  /// (self-loop OD traffic, as in the paper's Fig. 2 example).
+  bool allowSelfConnections = true;
+  /// Fraction of *reverse* traffic that is misdelivered to a uniformly
+  /// random other node instead of the initiator — models 'hot potato'
+  /// routing asymmetry (paper Sec. 5.6).  0 disables.
+  double routingAsymmetry = 0.0;
+  /// Lognormal sigma of per-(i,j) multiplicative jitter applied to each
+  /// connection's forward fraction in logit space; makes f_ij vary by
+  /// pair so the *simplified* IC model is only approximately right.
+  double pairFJitterSigma = 0.0;
+};
+
+/// Result of a generation run.
+struct GeneratedTraffic {
+  traffic::TrafficMatrixSeries series;
+  /// Total number of connections generated.
+  std::uint64_t connectionCount = 0;
+  /// Realised network-wide forward fraction
+  /// (total fwd bytes / total bytes).
+  double realizedForwardFraction = 0.0;
+};
+
+/// Generates a ground-truth TM series from connections.
+/// `binSeconds` is carried into the output series as metadata.
+GeneratedTraffic GenerateTraffic(const GeneratorConfig& config,
+                                 double binSeconds, stats::Rng& rng);
+
+/// As GenerateTraffic but also returns every connection (memory-heavy;
+/// use for small scenarios and the packet-trace pipeline).
+GeneratedTraffic GenerateTraffic(const GeneratorConfig& config,
+                                 double binSeconds, stats::Rng& rng,
+                                 std::vector<Connection>* outConnections);
+
+}  // namespace ictm::conngen

@@ -1,0 +1,44 @@
+#include "conngen/netflow.hpp"
+
+#include <cmath>
+
+namespace ictm::conngen {
+
+traffic::TrafficMatrixSeries ApplyNetflowSampling(
+    const traffic::TrafficMatrixSeries& truth, const NetflowConfig& config,
+    stats::Rng& rng) {
+  ICTM_REQUIRE(config.samplingRate > 0.0 && config.samplingRate <= 1.0,
+               "sampling rate out of (0,1]");
+  ICTM_REQUIRE(config.meanPacketBytes > 0.0,
+               "mean packet size must be positive");
+
+  const std::size_t n = truth.nodeCount();
+  traffic::TrafficMatrixSeries out(n, truth.binCount(),
+                                   truth.binSeconds());
+  const double invRate = 1.0 / config.samplingRate;
+  for (std::size_t t = 0; t < truth.binCount(); ++t) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const double bytes = truth(t, i, j);
+        if (bytes <= 0.0) continue;
+        const double packets = bytes / config.meanPacketBytes;
+        // Expected sampled packets; Poisson thinning is the standard
+        // model for independent per-packet sampling.
+        const double lambda = packets * config.samplingRate;
+        const double sampled =
+            static_cast<double>(rng.poisson(lambda));
+        out(t, i, j) = sampled * config.meanPacketBytes * invRate;
+      }
+    }
+  }
+  return out;
+}
+
+double SamplingAggregateError(const traffic::TrafficMatrixSeries& truth,
+                              const traffic::TrafficMatrixSeries& sampled) {
+  const double trueTotal = truth.grandTotal();
+  ICTM_REQUIRE(trueTotal > 0.0, "empty ground-truth series");
+  return std::fabs(sampled.grandTotal() - trueTotal) / trueTotal;
+}
+
+}  // namespace ictm::conngen

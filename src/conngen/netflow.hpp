@@ -1,0 +1,33 @@
+// Sampled-netflow measurement noise.
+//
+// Datasets D1/D2 are built from netflow sampled at 1/1000 packets; the
+// TMs the paper fits are therefore noisy rescaled estimates of the true
+// matrices.  This module applies the same distortion to our
+// ground-truth series: per OD pair and bin, the byte volume is
+// converted to packets, thinned by the sampling rate (Poisson), and
+// scaled back up — exactly what an operator's collector does.
+#pragma once
+
+#include "stats/rng.hpp"
+#include "traffic/tm_series.hpp"
+
+namespace ictm::conngen {
+
+/// Netflow sampling configuration.
+struct NetflowConfig {
+  double samplingRate = 1.0 / 1000.0;  ///< packet sampling probability
+  double meanPacketBytes = 700.0;      ///< mean packet size
+};
+
+/// Applies sampling noise to a ground-truth series, returning the TM an
+/// operator would reconstruct from the sampled flow records.
+traffic::TrafficMatrixSeries ApplyNetflowSampling(
+    const traffic::TrafficMatrixSeries& truth, const NetflowConfig& config,
+    stats::Rng& rng);
+
+/// Relative error introduced by sampling on the aggregate:
+/// |sampled_total - true_total| / true_total.
+double SamplingAggregateError(const traffic::TrafficMatrixSeries& truth,
+                              const traffic::TrafficMatrixSeries& sampled);
+
+}  // namespace ictm::conngen

@@ -1,0 +1,99 @@
+#include "conngen/packet_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/distributions.hpp"
+
+namespace ictm::conngen {
+
+namespace {
+
+// Emits `totalBytes` of packets into `out`, uniformly spread over
+// [start, start+duration), clipped to the capture window [0, captureEnd).
+// The first emitted packet carries the SYN flag when `markSyn` and its
+// timestamp is inside the window.
+void EmitPackets(std::vector<PacketRecord>& out, double start,
+                 double duration, double totalBytes, std::uint32_t mss,
+                 std::uint64_t flowId, bool markSyn, double captureEnd) {
+  if (totalBytes <= 0.0) return;
+  const std::size_t packets = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(totalBytes / mss)));
+  const double step =
+      packets > 1 ? duration / static_cast<double>(packets) : duration;
+  double remaining = totalBytes;
+  for (std::size_t k = 0; k < packets; ++k) {
+    const double ts = start + step * static_cast<double>(k);
+    const std::uint32_t size = static_cast<std::uint32_t>(
+        std::min<double>(mss, std::max(remaining, 40.0)));
+    remaining -= size;
+    if (ts >= 0.0 && ts < captureEnd) {
+      out.push_back(PacketRecord{ts, flowId, size, markSyn && k == 0});
+    }
+  }
+}
+
+}  // namespace
+
+LinkTracePair SimulatePacketTraces(const TraceSimConfig& config,
+                                   stats::Rng& rng) {
+  ICTM_REQUIRE(config.durationSec > 0.0, "trace duration must be positive");
+  ICTM_REQUIRE(config.connectionsPerSec > 0.0,
+               "connection rate must be positive");
+  ICTM_REQUIRE(config.fracInitiatedAtA >= 0.0 &&
+                   config.fracInitiatedAtA <= 1.0,
+               "fracInitiatedAtA out of [0,1]");
+  ICTM_REQUIRE(config.mss >= 40, "MSS unrealistically small");
+  ICTM_REQUIRE(config.meanThroughputBps > 0.0,
+               "throughput must be positive");
+
+  LinkTracePair trace;
+  trace.durationSec = config.durationSec;
+
+  const auto& apps = config.mix.profiles();
+  std::vector<double> appWeights;
+  for (const auto& p : apps) appWeights.push_back(p.mixWeight);
+  stats::DiscreteSampler appSampler(appWeights);
+
+  // Poisson arrivals over [-warmup, duration).
+  const double horizon = config.warmupSec + config.durationSec;
+  const std::uint64_t connCount =
+      rng.poisson(config.connectionsPerSec * horizon);
+  const double logThroughputMu =
+      std::log(config.meanThroughputBps) -
+      0.5 * config.throughputLogSigma * config.throughputLogSigma;
+
+  for (std::uint64_t c = 0; c < connCount; ++c) {
+    const double start =
+        rng.uniform(-config.warmupSec, config.durationSec);
+    const bool initiatedAtA = rng.bernoulli(config.fracInitiatedAtA);
+    const AppProfile& app = apps[appSampler.sample(rng)];
+
+    const double bytes =
+        std::exp(rng.gaussian(app.logMeanBytes, app.logSigmaBytes));
+    const double fwd = bytes * app.forwardFraction;
+    const double rev = bytes - fwd;
+    const double throughput = std::exp(
+        rng.gaussian(logThroughputMu, config.throughputLogSigma));
+    const double duration = std::max(bytes / throughput, 1e-3);
+    const std::uint64_t flowId = c + 1;
+
+    auto& fwdLink = initiatedAtA ? trace.aToB : trace.bToA;
+    auto& revLink = initiatedAtA ? trace.bToA : trace.aToB;
+    // Forward packets start at connection start (SYN first); reverse
+    // packets lag by a small server think time.
+    EmitPackets(fwdLink, start, duration, fwd, config.mss, flowId,
+                /*markSyn=*/true, config.durationSec);
+    EmitPackets(revLink, start + 0.01, duration, rev, config.mss, flowId,
+                /*markSyn=*/false, config.durationSec);
+  }
+
+  auto byTime = [](const PacketRecord& a, const PacketRecord& b) {
+    return a.timestampSec < b.timestampSec;
+  };
+  std::sort(trace.aToB.begin(), trace.aToB.end(), byTime);
+  std::sort(trace.bToA.begin(), trace.bToA.end(), byTime);
+  return trace;
+}
+
+}  // namespace ictm::conngen

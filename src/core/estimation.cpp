@@ -1,0 +1,200 @@
+#include "core/estimation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/lsq.hpp"
+#include "topology/routing.hpp"
+#include "traffic/tm_series.hpp"
+
+namespace ictm::core {
+
+linalg::Matrix Ipf(linalg::Matrix tm, const linalg::Vector& rowTargets,
+                   const linalg::Vector& colTargets,
+                   std::size_t maxIterations, double tolerance) {
+  const std::size_t n = tm.rows();
+  ICTM_REQUIRE(tm.cols() == n, "IPF requires a square matrix");
+  ICTM_REQUIRE(rowTargets.size() == n && colTargets.size() == n,
+               "target length mismatch");
+  for (double v : rowTargets) ICTM_REQUIRE(v >= 0.0, "negative row target");
+  for (double v : colTargets) ICTM_REQUIRE(v >= 0.0, "negative col target");
+
+  // Seed structurally-zero rows/columns whose target is positive, so
+  // scaling has something to work with.
+  for (std::size_t i = 0; i < n; ++i) {
+    double rowSum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) rowSum += tm(i, j);
+    if (rowSum == 0.0 && rowTargets[i] > 0.0) {
+      for (std::size_t j = 0; j < n; ++j)
+        tm(i, j) = rowTargets[i] / static_cast<double>(n);
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    double colSum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) colSum += tm(i, j);
+    if (colSum == 0.0 && colTargets[j] > 0.0) {
+      for (std::size_t i = 0; i < n; ++i)
+        tm(i, j) += colTargets[j] / static_cast<double>(n);
+    }
+  }
+
+  for (std::size_t iter = 0; iter < maxIterations; ++iter) {
+    // Row scaling.
+    for (std::size_t i = 0; i < n; ++i) {
+      double rowSum = 0.0;
+      for (std::size_t j = 0; j < n; ++j) rowSum += tm(i, j);
+      if (rowSum > 0.0) {
+        const double s = rowTargets[i] / rowSum;
+        for (std::size_t j = 0; j < n; ++j) tm(i, j) *= s;
+      }
+    }
+    // Column scaling, tracking the worst mismatch before scaling rows
+    // again next round.
+    double worst = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      double colSum = 0.0;
+      for (std::size_t i = 0; i < n; ++i) colSum += tm(i, j);
+      if (colSum > 0.0) {
+        const double s = colTargets[j] / colSum;
+        for (std::size_t i = 0; i < n; ++i) tm(i, j) *= s;
+        const double scale = std::max(colTargets[j], 1.0);
+        worst = std::max(worst, std::fabs(colSum - colTargets[j]) / scale);
+      }
+    }
+    if (worst < tolerance) break;
+  }
+  return tm;
+}
+
+namespace {
+
+// Sparse column view of a routing (or augmented) matrix: for each
+// column, the list of (row, value) non-zeros.  Link-path columns have
+// only a handful of entries, so this turns the dense normal-equation
+// build into a near-linear pass.
+struct SparseColumns {
+  std::vector<std::vector<std::pair<std::size_t, double>>> cols;
+
+  explicit SparseColumns(const linalg::Matrix& m) : cols(m.cols()) {
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      for (std::size_t c = 0; c < m.cols(); ++c) {
+        const double v = m(r, c);
+        if (v != 0.0) cols[c].emplace_back(r, v);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+linalg::Matrix EstimateTmBin(const linalg::Matrix& routing,
+                             const linalg::Vector& linkLoads,
+                             const linalg::Matrix& prior,
+                             const linalg::Vector& ingress,
+                             const linalg::Vector& egress,
+                             const EstimationOptions& options) {
+  const std::size_t n = prior.rows();
+  ICTM_REQUIRE(prior.cols() == n, "prior must be square");
+  ICTM_REQUIRE(routing.cols() == n * n, "routing matrix column mismatch");
+  ICTM_REQUIRE(linkLoads.size() == routing.rows(),
+               "link load length mismatch");
+  ICTM_REQUIRE(ingress.size() == n && egress.size() == n,
+               "marginal length mismatch");
+
+  // Assemble the (optionally marginal-augmented) system.
+  const std::size_t links = routing.rows();
+  const std::size_t rows =
+      options.useMarginalConstraints ? links + 2 * n : links;
+  linalg::Matrix system(rows, n * n, 0.0);
+  linalg::Vector y(rows, 0.0);
+  for (std::size_t r = 0; r < links; ++r) {
+    for (std::size_t c = 0; c < n * n; ++c) system(r, c) = routing(r, c);
+    y[r] = linkLoads[r];
+  }
+  if (options.useMarginalConstraints) {
+    const linalg::Matrix q = traffic::BuildMarginalOperator(n);
+    for (std::size_t r = 0; r < 2 * n; ++r)
+      for (std::size_t c = 0; c < n * n; ++c)
+        system(links + r, c) = q(r, c);
+    for (std::size_t i = 0; i < n; ++i) {
+      y[links + i] = ingress[i];
+      y[links + n + i] = egress[i];
+    }
+  }
+
+  const SparseColumns sparse(system);
+  const linalg::Vector xp = topology::FlattenTm(prior);
+
+  // Residual d = y - R xp.
+  linalg::Vector d = y;
+  for (std::size_t c = 0; c < n * n; ++c) {
+    if (xp[c] == 0.0) continue;
+    for (const auto& [r, v] : sparse.cols[c]) d[r] -= v * xp[c];
+  }
+
+  // Normal matrix M = R W R^T with W = diag(xp) (prior-weighted
+  // deviations, per tomogravity), built column-by-column.
+  linalg::Matrix m(rows, rows, 0.0);
+  for (std::size_t c = 0; c < n * n; ++c) {
+    if (xp[c] <= 0.0) continue;
+    const auto& nz = sparse.cols[c];
+    for (const auto& [r1, v1] : nz) {
+      for (const auto& [r2, v2] : nz) {
+        m(r1, r2) += xp[c] * v1 * v2;
+      }
+    }
+  }
+  double trace = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) trace += m(r, r);
+  const double ridge =
+      std::max(trace, 1.0) * options.relativeRidge +
+      1e-30;  // keep strictly positive even for an all-zero prior
+  for (std::size_t r = 0; r < rows; ++r) m(r, r) += ridge;
+
+  // Solve (M + ridge) z = d and push back: x = xp + W R^T z.
+  const linalg::Matrix u = linalg::CholeskyUpper(m);
+  const linalg::Vector w1 = linalg::ForwardSubstituteTranspose(u, d);
+  // Back substitution U z = w1.
+  linalg::Vector z(rows, 0.0);
+  for (std::size_t ii = rows; ii-- > 0;) {
+    double acc = w1[ii];
+    for (std::size_t j = ii + 1; j < rows; ++j) acc -= u(ii, j) * z[j];
+    z[ii] = acc / u(ii, ii);
+  }
+
+  linalg::Vector x = xp;
+  for (std::size_t c = 0; c < n * n; ++c) {
+    if (xp[c] <= 0.0) continue;
+    double dot = 0.0;
+    for (const auto& [r, v] : sparse.cols[c]) dot += v * z[r];
+    x[c] += xp[c] * dot;
+  }
+  for (double& xi : x) xi = std::max(xi, 0.0);
+
+  return Ipf(topology::UnflattenTm(x, n), ingress, egress,
+             options.ipfIterations, options.ipfTolerance);
+}
+
+traffic::TrafficMatrixSeries EstimateSeries(
+    const linalg::Matrix& routing,
+    const traffic::TrafficMatrixSeries& truth,
+    const traffic::TrafficMatrixSeries& priors,
+    const EstimationOptions& options) {
+  ICTM_REQUIRE(truth.nodeCount() == priors.nodeCount() &&
+                   truth.binCount() == priors.binCount(),
+               "truth/prior series shape mismatch");
+  const std::size_t n = truth.nodeCount();
+  traffic::TrafficMatrixSeries out(n, truth.binCount(),
+                                   truth.binSeconds());
+  for (std::size_t t = 0; t < truth.binCount(); ++t) {
+    const linalg::Matrix truthBin = truth.bin(t);
+    const linalg::Vector loads =
+        topology::ComputeLinkLoads(routing, truthBin);
+    out.setBin(t, EstimateTmBin(routing, loads, priors.bin(t),
+                                truth.ingress(t), truth.egress(t),
+                                options));
+  }
+  return out;
+}
+
+}  // namespace ictm::core

@@ -1,0 +1,57 @@
+// TM estimation from link loads — the tomogravity blueprint of paper
+// Sec. 6:
+//   Step 1: pick a prior xinit (gravity or one of the IC priors),
+//   Step 2: least-squares refinement respecting the link equations
+//           Y = R x (Zhang et al. [22]: minimise the prior-weighted
+//           deviation subject to the link constraints),
+//   Step 3: iterative proportional fitting onto the measured
+//           ingress/egress marginals.
+#pragma once
+
+#include "core/priors.hpp"
+#include "linalg/matrix.hpp"
+#include "traffic/tm_series.hpp"
+
+namespace ictm::core {
+
+/// Options for the estimation pipeline.
+struct EstimationOptions {
+  /// Append the marginal equations (Q x = [ingress; egress]) to the
+  /// link system, as operators do (access-link SNMP counters).
+  bool useMarginalConstraints = true;
+  /// Ridge added to the normal-equations diagonal, relative to its
+  /// trace, making the solve robust to rank deficiency.
+  double relativeRidge = 1e-10;
+  /// IPF settings for step 3.
+  std::size_t ipfIterations = 100;
+  double ipfTolerance = 1e-9;
+};
+
+/// Iterative proportional fitting: rescales rows and columns of `tm`
+/// until row sums match `rowTargets` and column sums match
+/// `colTargets` (within tolerance).  All-zero rows/columns whose
+/// target is positive are seeded uniformly first.
+linalg::Matrix Ipf(linalg::Matrix tm, const linalg::Vector& rowTargets,
+                   const linalg::Vector& colTargets,
+                   std::size_t maxIterations = 100, double tolerance = 1e-9);
+
+/// One bin of tomogravity refinement: returns the estimate
+///   x = xp + W R^T (R W R^T + ridge)^-1 (y - R xp),   W = diag(xp),
+/// clamped non-negative and IPF'd to the marginals.
+linalg::Matrix EstimateTmBin(const linalg::Matrix& routing,
+                             const linalg::Vector& linkLoads,
+                             const linalg::Matrix& prior,
+                             const linalg::Vector& ingress,
+                             const linalg::Vector& egress,
+                             const EstimationOptions& options = {});
+
+/// Full-series estimation: per bin, computes true link loads from
+/// `truth` via the routing matrix (simulating SNMP), runs the
+/// three-step pipeline with `priors`, and returns the estimated series.
+traffic::TrafficMatrixSeries EstimateSeries(
+    const linalg::Matrix& routing,
+    const traffic::TrafficMatrixSeries& truth,
+    const traffic::TrafficMatrixSeries& priors,
+    const EstimationOptions& options = {});
+
+}  // namespace ictm::core

@@ -1,0 +1,82 @@
+// Parameter estimation for the IC model — paper Sec. 5.1.
+//
+// The paper estimates (f, {P_i}, {A_i(t)}) by solving
+//     minimize  sum_t RelL2_T(t)
+//     s.t.      A_i(t) >= 0,  P_i >= 0,  sum_i P_i = 1
+// with Matlab's NLP solver.  We solve the standard squared surrogate
+// (sum_t ||X(t)-Xhat(t)||^2 / ||X(t)||^2) by alternating least squares:
+// each block subproblem (A given f,P; P given f,A; f given A,P) is a
+// linear least-squares problem, solved under non-negativity with NNLS.
+// The simplex constraint on P is enforced by exploiting the model's
+// scale invariance (P -> cP, A -> A/c leaves X unchanged).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "traffic/tm_series.hpp"
+
+namespace ictm::core {
+
+/// Options for the alternating solver.
+struct FitOptions {
+  std::size_t maxSweeps = 30;       ///< max alternating sweeps
+  double relativeTolerance = 1e-5;  ///< stop when objective improves less
+  double initialF = 0.25;           ///< starting forward fraction
+  bool fitF = true;                 ///< when false, f stays at initialF
+  /// Clamp range for the fitted f.  The simplified IC model has an
+  /// exact mirror symmetry (f, A, P) <-> (1-f, c*P, A/c) whenever the
+  /// activity series share a common temporal shape, so without a
+  /// constraint the solver may return the mirrored solution.  Internet
+  /// traffic is response-dominated (paper: f in 0.2-0.3), so the
+  /// default search space is the physical branch f < 1/2; widen fMax
+  /// explicitly to explore the mirrored branch.
+  double fMin = 0.01;
+  double fMax = 0.49;
+  /// The alternating solver can stall in local optima whose f is far
+  /// from the global one.  When `gridPoints > 0` (and fitF is true),
+  /// the fit first scans a coarse grid of fixed-f short fits over
+  /// [fMin, fMax] on a temporally subsampled series, then polishes the
+  /// winner with the full alternating solve — the deterministic
+  /// counterpart of the multi-start NLP solve the paper uses.
+  std::size_t gridPoints = 9;
+  std::size_t gridSweeps = 4;
+  /// During the grid stage, fit every k-th bin only (k = gridStride).
+  std::size_t gridStride = 4;
+};
+
+/// Result of a stable-fP fit.
+struct StableFPFit {
+  double f = 0.25;
+  linalg::Vector preference;      ///< length n, non-negative, sums to 1
+  linalg::Matrix activitySeries;  ///< n x T, non-negative
+  /// Objective sum_t RelL2(t) after each sweep (front = after sweep 1).
+  std::vector<double> objectiveHistory;
+  std::size_t sweeps = 0;
+  bool converged = false;
+
+  /// Final objective value (throws when no sweep ran).
+  double objective() const;
+};
+
+/// Fits the stable-fP model (Eq. 5) to an observed series.
+StableFPFit FitStableFP(const traffic::TrafficMatrixSeries& series,
+                        const FitOptions& options = {});
+
+/// Fits the time-varying IC model (Eq. 3): an independent
+/// (f(t), P(t), A(t)) per bin, each via single-bin alternating fits.
+struct TimeVaryingFit {
+  std::vector<double> f;                   ///< per bin
+  std::vector<linalg::Vector> preference;  ///< per bin
+  linalg::Matrix activitySeries;           ///< n x T
+  double objective = 0.0;                  ///< sum_t RelL2(t)
+};
+TimeVaryingFit FitTimeVarying(const traffic::TrafficMatrixSeries& series,
+                              const FitOptions& options = {});
+
+/// Reconstructs the fitted series Xhat from a stable-fP fit.
+traffic::TrafficMatrixSeries ReconstructSeries(
+    const StableFPFit& fit, double binSeconds = 300.0);
+
+}  // namespace ictm::core

@@ -1,0 +1,184 @@
+#include "core/general_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/ic_model.hpp"
+#include "core/metrics.hpp"
+#include "linalg/lsq.hpp"
+#include "linalg/nnls.hpp"
+
+namespace ictm::core {
+
+namespace {
+
+// Builds the general-model activity operator: x(t) = Phi A(t) with
+// Phi[(i,j), k] = F(i,j) Pn_j [k==i] + (1 - F(j,i)) Pn_i [k==j].
+linalg::Matrix BuildGeneralActivityOperator(
+    const linalg::Matrix& forwardFractions,
+    const linalg::Vector& preference) {
+  const std::size_t n = preference.size();
+  const double prefSum = linalg::Sum(preference);
+  ICTM_REQUIRE(prefSum > 0.0, "all preferences are zero");
+  linalg::Matrix phi(n * n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t row = i * n + j;
+      phi(row, i) += forwardFractions(i, j) * preference[j] / prefSum;
+      phi(row, j) +=
+          (1.0 - forwardFractions(j, i)) * preference[i] / prefSum;
+    }
+  }
+  return phi;
+}
+
+// Non-negative solve of min ||U x - b|| from the Gram system (same
+// approach as the stable-fP fitter).
+linalg::Vector SolveGramNnls(linalg::Matrix gram,
+                             const linalg::Vector& rhs) {
+  const std::size_t n = gram.rows();
+  double maxDiag = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    maxDiag = std::max(maxDiag, gram(i, i));
+  const double ridge = std::max(maxDiag, 1.0) * 1e-12;
+  for (std::size_t i = 0; i < n; ++i) gram(i, i) += ridge;
+  const linalg::Matrix u = linalg::CholeskyUpper(gram);
+  const linalg::Vector b = linalg::ForwardSubstituteTranspose(u, rhs);
+  linalg::Vector x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= u(ii, j) * x[j];
+    x[ii] = acc / u(ii, ii);
+  }
+  for (double xi : x) {
+    if (xi < 0.0) return linalg::SolveNnls(u, b).x;
+  }
+  return x;
+}
+
+// F-step: per unordered pair, a 2-unknown least squares over time.
+// With u_t = A_i(t) Pn_j and v_t = A_j(t) Pn_i, the model gives
+//   X_ij + X_ji = u_t + v_t                (conservation, no info)
+//   X_ij - X_ji = 2 f_ij u_t - 2 f_ji v_t + v_t - u_t,
+// so each bin contributes one informative equation
+//   u_t f_ij - v_t f_ji = (X_ij - X_ji - v_t + u_t) / 2.
+// The pair is identified when the ratio u_t/v_t varies over time.
+void UpdateForwardFractions(const traffic::TrafficMatrixSeries& series,
+                            const linalg::Matrix& activitySeries,
+                            const linalg::Vector& preference,
+                            linalg::Matrix& forwardFractions) {
+  const std::size_t n = series.nodeCount();
+  const double prefSum = linalg::Sum(preference);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      // Accumulate the 2x2 normal equations of rows (u_t, -v_t).
+      double g00 = 0.0, g01 = 0.0, g11 = 0.0, r0 = 0.0, r1 = 0.0;
+      for (std::size_t t = 0; t < series.binCount(); ++t) {
+        const double u =
+            activitySeries(i, t) * preference[j] / prefSum;
+        const double v =
+            activitySeries(j, t) * preference[i] / prefSum;
+        const double rhs2 =
+            0.5 * (series(t, i, j) - series(t, j, i) - v + u);
+        g00 += u * u;
+        g01 += -u * v;
+        g11 += v * v;
+        r0 += u * rhs2;
+        r1 += -v * rhs2;
+      }
+      const double ridge = std::max(g00 + g11, 1e-30) * 1e-12;
+      g00 += ridge;
+      g11 += ridge;
+      const double det = g00 * g11 - g01 * g01;
+      double fij = forwardFractions(i, j);
+      double fji = forwardFractions(j, i);
+      if (det > 1e-30) {
+        fij = (g11 * r0 - g01 * r1) / det;
+        fji = (-g01 * r0 + g00 * r1) / det;
+      }
+      forwardFractions(i, j) = std::clamp(fij, 0.0, 1.0);
+      forwardFractions(j, i) = std::clamp(fji, 0.0, 1.0);
+    }
+  }
+}
+
+void UpdateActivitiesGeneral(const traffic::TrafficMatrixSeries& series,
+                             const linalg::Matrix& forwardFractions,
+                             const linalg::Vector& preference,
+                             linalg::Matrix& activitySeries) {
+  const std::size_t n = series.nodeCount();
+  const linalg::Matrix phi =
+      BuildGeneralActivityOperator(forwardFractions, preference);
+  const linalg::Matrix gram = phi.transposed() * phi;
+  for (std::size_t t = 0; t < series.binCount(); ++t) {
+    linalg::Vector x(n * n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) x[i * n + j] = series(t, i, j);
+    const linalg::Vector rhs = linalg::TransposeTimes(phi, x);
+    const linalg::Vector a = SolveGramNnls(gram, rhs);
+    for (std::size_t i = 0; i < n; ++i) activitySeries(i, t) = a[i];
+  }
+}
+
+}  // namespace
+
+traffic::TrafficMatrixSeries EvaluateGeneralIcSeries(
+    const linalg::Matrix& forwardFractions,
+    const linalg::Matrix& activitySeries,
+    const linalg::Vector& preference, double binSeconds) {
+  const std::size_t bins = activitySeries.cols();
+  traffic::TrafficMatrixSeries out(activitySeries.rows(), bins,
+                                   binSeconds);
+  for (std::size_t t = 0; t < bins; ++t) {
+    out.setBin(t, EvaluateGeneralIc(forwardFractions,
+                                    activitySeries.col(t), preference));
+  }
+  return out;
+}
+
+double ForwardFractionAsymmetry(const linalg::Matrix& forwardFractions) {
+  const std::size_t n = forwardFractions.rows();
+  ICTM_REQUIRE(forwardFractions.cols() == n, "F must be square");
+  ICTM_REQUIRE(n >= 2, "asymmetry needs at least two nodes");
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      acc += std::fabs(forwardFractions(i, j) - forwardFractions(j, i));
+      ++count;
+    }
+  }
+  return acc / static_cast<double>(count);
+}
+
+GeneralIcFit FitGeneralIc(const traffic::TrafficMatrixSeries& series,
+                          const GeneralFitOptions& options) {
+  // Stage 1: simplified fit for (f, A, P).
+  const StableFPFit base = FitStableFP(series, options.base);
+
+  GeneralIcFit fit;
+  fit.preference = base.preference;
+  fit.activitySeries = base.activitySeries;
+  fit.forwardFractions =
+      linalg::Matrix(series.nodeCount(), series.nodeCount(), base.f);
+  fit.simplifiedObjective = base.objective();
+
+  // Stage 2: alternate per-pair F refinement with activity re-solves.
+  for (std::size_t round = 0; round < options.refinementRounds; ++round) {
+    UpdateForwardFractions(series, fit.activitySeries, fit.preference,
+                           fit.forwardFractions);
+    UpdateActivitiesGeneral(series, fit.forwardFractions, fit.preference,
+                            fit.activitySeries);
+  }
+  if (options.refinementRounds == 0) {
+    fit.objective = fit.simplifiedObjective;
+  } else {
+    fit.objective = RelL2Objective(
+        series,
+        EvaluateGeneralIcSeries(fit.forwardFractions, fit.activitySeries,
+                                fit.preference, series.binSeconds()));
+  }
+  return fit;
+}
+
+}  // namespace ictm::core

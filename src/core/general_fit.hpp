@@ -1,0 +1,58 @@
+// Fitting the *general* IC model (paper Eq. 1, Sec. 5.6 future work).
+//
+// The simplified model's single network-wide f breaks under routing
+// asymmetry ('hot potato' exits), where f_ij != f_ji.  The general
+// model keeps a per-pair forward fraction matrix F.  This module fits
+// F on top of a stable-fP fit: given (A(t), P), each unordered node
+// pair's (f_ij, f_ji) solves an independent 2x2 linear least-squares
+// problem over time, clamped into [0, 1]:
+//
+//   X_ij(t) = f_ij * A_i(t) Pn_j + (1 - f_ji) * A_j(t) Pn_i
+//   X_ji(t) = f_ji * A_j(t) Pn_i + (1 - f_ij) * A_i(t) Pn_j
+//
+// Optionally the (A, F) blocks are alternated for a few rounds.
+#pragma once
+
+#include "core/fit.hpp"
+#include "linalg/matrix.hpp"
+#include "traffic/tm_series.hpp"
+
+namespace ictm::core {
+
+/// Options for the general-IC fit.
+struct GeneralFitOptions {
+  /// Options for the inner stable-fP fit providing (A, P) and the
+  /// initial f.
+  FitOptions base;
+  /// Number of (F-step, A-step) alternations after the initial fit.
+  std::size_t refinementRounds = 2;
+};
+
+/// Result of a general-IC fit.
+struct GeneralIcFit {
+  linalg::Matrix forwardFractions;  ///< n x n, entries in [0, 1]
+  linalg::Vector preference;        ///< normalised
+  linalg::Matrix activitySeries;    ///< n x T
+  double objective = 0.0;           ///< sum_t RelL2(t)
+  /// The simplified-model objective before per-pair refinement, for
+  /// comparing how much the general model buys.
+  double simplifiedObjective = 0.0;
+};
+
+/// Fits the general IC model to a series.
+GeneralIcFit FitGeneralIc(const traffic::TrafficMatrixSeries& series,
+                          const GeneralFitOptions& options = {});
+
+/// Evaluates the general IC model over a series of activities
+/// (column t = A(t)), returning the reconstructed TM series.
+traffic::TrafficMatrixSeries EvaluateGeneralIcSeries(
+    const linalg::Matrix& forwardFractions,
+    const linalg::Matrix& activitySeries,
+    const linalg::Vector& preference, double binSeconds = 300.0);
+
+/// Asymmetry summary of a fitted F matrix: mean |f_ij - f_ji| over
+/// off-diagonal pairs — a direct measure of routing asymmetry
+/// (Sec. 5.6).
+double ForwardFractionAsymmetry(const linalg::Matrix& forwardFractions);
+
+}  // namespace ictm::core

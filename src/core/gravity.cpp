@@ -1,0 +1,43 @@
+#include "core/gravity.hpp"
+
+namespace ictm::core {
+
+linalg::Matrix GravityPredict(const linalg::Vector& ingress,
+                              const linalg::Vector& egress) {
+  const std::size_t n = ingress.size();
+  ICTM_REQUIRE(n > 0, "empty marginals");
+  ICTM_REQUIRE(egress.size() == n, "marginal size mismatch");
+  for (double v : ingress) ICTM_REQUIRE(v >= 0.0, "negative ingress");
+  for (double v : egress) ICTM_REQUIRE(v >= 0.0, "negative egress");
+  const double inSum = linalg::Sum(ingress);
+  const double outSum = linalg::Sum(egress);
+  ICTM_REQUIRE(inSum > 0.0 && outSum > 0.0, "zero-traffic marginals");
+  // Conservation says the sums agree; under measurement noise we use
+  // their mean as X_**.
+  const double total = 0.5 * (inSum + outSum);
+
+  linalg::Matrix tm(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      tm(i, j) = ingress[i] * egress[j] / total;
+    }
+  }
+  return tm;
+}
+
+linalg::Matrix GravityPredictBin(const traffic::TrafficMatrixSeries& series,
+                                 std::size_t t) {
+  return GravityPredict(series.ingress(t), series.egress(t));
+}
+
+traffic::TrafficMatrixSeries GravityPredictSeries(
+    const traffic::TrafficMatrixSeries& series) {
+  traffic::TrafficMatrixSeries out(series.nodeCount(), series.binCount(),
+                                   series.binSeconds());
+  for (std::size_t t = 0; t < series.binCount(); ++t) {
+    out.setBin(t, GravityPredictBin(series, t));
+  }
+  return out;
+}
+
+}  // namespace ictm::core

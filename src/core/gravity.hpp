@@ -1,0 +1,29 @@
+// The gravity model — the baseline the paper argues against.
+//
+// Under packet-level ingress/egress independence the expected OD flow
+// is X_ij = X_i* * X_*j / X_**.  Used both as a model-fit baseline
+// (Fig. 3) and as the prior the IC priors are compared to in the TM
+// estimation experiments (Figs. 11-13).
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "traffic/tm_series.hpp"
+
+namespace ictm::core {
+
+/// Gravity prediction from ingress/egress marginals (lengths equal,
+/// non-negative, equal sums up to measurement noise; the total used is
+/// the mean of the two sums).
+linalg::Matrix GravityPredict(const linalg::Vector& ingress,
+                              const linalg::Vector& egress);
+
+/// Gravity prediction for one bin of an observed series (uses the
+/// bin's own marginals, which is how the paper applies it).
+linalg::Matrix GravityPredictBin(const traffic::TrafficMatrixSeries& series,
+                                 std::size_t t);
+
+/// Full-series gravity reconstruction.
+traffic::TrafficMatrixSeries GravityPredictSeries(
+    const traffic::TrafficMatrixSeries& series);
+
+}  // namespace ictm::core

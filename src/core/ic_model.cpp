@@ -1,0 +1,149 @@
+#include "core/ic_model.hpp"
+
+#include <cmath>
+
+namespace ictm::core {
+
+void IcParameters::validate() const {
+  ICTM_REQUIRE(f > 0.0 && f < 1.0, "f must lie in (0,1)");
+  ICTM_REQUIRE(!activity.empty(), "activity vector is empty");
+  ICTM_REQUIRE(activity.size() == preference.size(),
+               "activity/preference size mismatch");
+  double prefSum = 0.0;
+  for (double a : activity) ICTM_REQUIRE(a >= 0.0, "negative activity");
+  for (double p : preference) {
+    ICTM_REQUIRE(p >= 0.0, "negative preference");
+    prefSum += p;
+  }
+  ICTM_REQUIRE(prefSum > 0.0, "all preferences are zero");
+}
+
+linalg::Matrix EvaluateSimplifiedIc(const IcParameters& params) {
+  params.validate();
+  const std::size_t n = params.nodeCount();
+  const double prefSum = linalg::Sum(params.preference);
+  linalg::Matrix tm(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double pnj = params.preference[j] / prefSum;
+      const double pni = params.preference[i] / prefSum;
+      tm(i, j) = params.f * params.activity[i] * pnj +
+                 (1.0 - params.f) * params.activity[j] * pni;
+    }
+  }
+  return tm;
+}
+
+linalg::Matrix EvaluateGeneralIc(const linalg::Matrix& forwardFractions,
+                                 const linalg::Vector& activity,
+                                 const linalg::Vector& preference) {
+  const std::size_t n = activity.size();
+  ICTM_REQUIRE(n > 0, "empty activity vector");
+  ICTM_REQUIRE(preference.size() == n, "preference size mismatch");
+  ICTM_REQUIRE(forwardFractions.rows() == n && forwardFractions.cols() == n,
+               "forward-fraction matrix shape mismatch");
+  double prefSum = 0.0;
+  for (double p : preference) {
+    ICTM_REQUIRE(p >= 0.0, "negative preference");
+    prefSum += p;
+  }
+  ICTM_REQUIRE(prefSum > 0.0, "all preferences are zero");
+  for (double a : activity) ICTM_REQUIRE(a >= 0.0, "negative activity");
+
+  linalg::Matrix tm(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double fij = forwardFractions(i, j);
+      const double fji = forwardFractions(j, i);
+      ICTM_REQUIRE(fij >= 0.0 && fij <= 1.0, "f_ij out of [0,1]");
+      // Eq. (1): forward share of i-initiated connections to j, plus
+      // reverse share of j-initiated connections to i.
+      tm(i, j) = fij * activity[i] * preference[j] / prefSum +
+                 (1.0 - fji) * activity[j] * preference[i] / prefSum;
+    }
+  }
+  return tm;
+}
+
+traffic::TrafficMatrixSeries EvaluateStableFP(
+    double f, const linalg::Matrix& activitySeries,
+    const linalg::Vector& preference, double binSeconds) {
+  const std::size_t n = activitySeries.rows();
+  const std::size_t bins = activitySeries.cols();
+  ICTM_REQUIRE(preference.size() == n, "preference size mismatch");
+  traffic::TrafficMatrixSeries series(n, bins, binSeconds);
+  for (std::size_t t = 0; t < bins; ++t) {
+    IcParameters params;
+    params.f = f;
+    params.activity = activitySeries.col(t);
+    params.preference = preference;
+    series.setBin(t, EvaluateSimplifiedIc(params));
+  }
+  return series;
+}
+
+linalg::Matrix BuildActivityOperator(double f,
+                                     const linalg::Vector& preference) {
+  ICTM_REQUIRE(f > 0.0 && f < 1.0, "f must lie in (0,1)");
+  const std::size_t n = preference.size();
+  ICTM_REQUIRE(n > 0, "empty preference vector");
+  const double prefSum = linalg::Sum(preference);
+  ICTM_REQUIRE(prefSum > 0.0, "all preferences are zero");
+
+  linalg::Matrix phi(n * n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t row = i * n + j;
+      // X_ij = f * Pn_j * A_i + (1-f) * Pn_i * A_j.
+      phi(row, i) += f * preference[j] / prefSum;
+      phi(row, j) += (1.0 - f) * preference[i] / prefSum;
+    }
+  }
+  return phi;
+}
+
+double ConditionalEgressProbability(const linalg::Matrix& tm,
+                                    std::size_t ingress,
+                                    std::size_t egress) {
+  ICTM_REQUIRE(tm.rows() == tm.cols(), "TM must be square");
+  ICTM_REQUIRE(ingress < tm.rows() && egress < tm.cols(),
+               "node index out of range");
+  double rowSum = 0.0;
+  for (std::size_t j = 0; j < tm.cols(); ++j) rowSum += tm(ingress, j);
+  ICTM_REQUIRE(rowSum > 0.0, "no traffic enters at the given node");
+  return tm(ingress, egress) / rowSum;
+}
+
+double EgressProbability(const linalg::Matrix& tm, std::size_t egress) {
+  ICTM_REQUIRE(tm.rows() == tm.cols(), "TM must be square");
+  ICTM_REQUIRE(egress < tm.cols(), "node index out of range");
+  double colSum = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < tm.rows(); ++i) {
+    for (std::size_t j = 0; j < tm.cols(); ++j) {
+      total += tm(i, j);
+      if (j == egress) colSum += tm(i, j);
+    }
+  }
+  ICTM_REQUIRE(total > 0.0, "empty traffic matrix");
+  return colSum / total;
+}
+
+linalg::Matrix BuildFig2ExampleTm() {
+  // Node volumes per connection direction: A: 100, B: 2, C: 1.
+  // Each node initiates one connection to each of {A, B, C}; forward
+  // and reverse volumes are equal (the example's simplifying
+  // assumption), so a connection i->j adds v to X_ij and v to X_ji
+  // (2v to X_ii when i == j).
+  const linalg::Vector volume = {100.0, 2.0, 1.0};
+  linalg::Matrix tm(3, 3, 0.0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      tm(i, j) += volume[i];  // forward of i-initiated connection to j
+      tm(j, i) += volume[i];  // its reverse traffic
+    }
+  }
+  return tm;
+}
+
+}  // namespace ictm::core

@@ -1,0 +1,86 @@
+// The independent-connection (IC) model family — paper Sec. 3.
+//
+// Notation (paper Eq. 1-5):
+//   f     forward fraction (network-wide in the simplified model),
+//   A_i   activity of node i: bytes due to connections *initiated* at i,
+//   P_i   preference of node i: likelihood a connection's responder is
+//         at i (used normalised: P_i / sum_k P_k).
+//
+// The model composes an OD flow from the forward traffic of
+// i-initiated connections and the reverse traffic of j-initiated ones:
+//   X_ij = f * A_i * Pn_j + (1 - f) * A_j * Pn_i          (Eq. 2)
+// where Pn is the normalised preference vector.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+#include "traffic/tm_series.hpp"
+
+namespace ictm::core {
+
+/// Parameters of the simplified IC model at one time bin.
+struct IcParameters {
+  double f = 0.25;           ///< forward fraction, in (0, 1)
+  linalg::Vector activity;   ///< A_i >= 0, length n
+  linalg::Vector preference; ///< P_i >= 0, length n (any positive scale)
+
+  /// Throws unless the invariants above hold.
+  void validate() const;
+  std::size_t nodeCount() const noexcept { return activity.size(); }
+};
+
+/// Evaluates the simplified IC model (Eq. 2): returns the n x n TM.
+linalg::Matrix EvaluateSimplifiedIc(const IcParameters& params);
+
+/// Evaluates the *general* IC model (Eq. 1) with a per-pair forward
+/// fraction matrix F (F(i,j) = f_ij in (0,1)).
+linalg::Matrix EvaluateGeneralIc(const linalg::Matrix& forwardFractions,
+                                 const linalg::Vector& activity,
+                                 const linalg::Vector& preference);
+
+/// Evaluates the stable-fP model (Eq. 5) over T bins: constant f and P,
+/// per-bin activities given as an n x T matrix (column t = A(t)).
+traffic::TrafficMatrixSeries EvaluateStableFP(
+    double f, const linalg::Matrix& activitySeries,
+    const linalg::Vector& preference, double binSeconds = 300.0);
+
+/// Builds the n^2 x n linear operator Phi with x(t) = Phi * A(t) for
+/// fixed (f, P) — the matrix the stable-fP estimation premultiplies by
+/// Q in Eq. 8.  Row i*n+j corresponds to X_ij; preference is
+/// normalised internally.
+linalg::Matrix BuildActivityOperator(double f,
+                                     const linalg::Vector& preference);
+
+/// Degrees-of-freedom accounting from paper Sec. 5.1 for a dataset of
+/// n nodes over t bins.
+struct DegreesOfFreedom {
+  static std::size_t Gravity(std::size_t n, std::size_t t) {
+    return 2 * n * t - 1;
+  }
+  static std::size_t TimeVaryingIc(std::size_t n, std::size_t t) {
+    return 3 * n * t;
+  }
+  static std::size_t StableFIc(std::size_t n, std::size_t t) {
+    return 2 * n * t + 1;
+  }
+  static std::size_t StableFPIc(std::size_t n, std::size_t t) {
+    return n * t + n + 1;
+  }
+};
+
+/// P[E = j | I = i] = X_ij / X_i* for one TM — the quantity the paper's
+/// Sec. 3 example uses to show packet-level independence failing.
+double ConditionalEgressProbability(const linalg::Matrix& tm,
+                                    std::size_t ingress,
+                                    std::size_t egress);
+
+/// Unconditional egress probability P[E = j] = X_*j / X_**.
+double EgressProbability(const linalg::Matrix& tm, std::size_t egress);
+
+/// Builds the 3-node example TM of paper Fig. 2: nodes A, B, C initiate
+/// 3 connections each of 100, 2 and 1 packets per direction
+/// respectively, with uniform responder choice over {A, B, C}.
+linalg::Matrix BuildFig2ExampleTm();
+
+}  // namespace ictm::core

@@ -1,0 +1,68 @@
+#include "core/metrics.hpp"
+
+#include <cmath>
+
+namespace ictm::core {
+
+double RelL2Temporal(const linalg::Matrix& actual,
+                     const linalg::Matrix& estimate) {
+  ICTM_REQUIRE(actual.rows() == estimate.rows() &&
+                   actual.cols() == estimate.cols(),
+               "shape mismatch in RelL2Temporal");
+  const double denom = actual.frobeniusNorm();
+  ICTM_REQUIRE(denom > 0.0, "RelL2 of an all-zero actual matrix");
+  return (actual - estimate).frobeniusNorm() / denom;
+}
+
+std::vector<double> RelL2TemporalSeries(
+    const traffic::TrafficMatrixSeries& actual,
+    const traffic::TrafficMatrixSeries& estimate) {
+  ICTM_REQUIRE(actual.nodeCount() == estimate.nodeCount() &&
+                   actual.binCount() == estimate.binCount(),
+               "series shape mismatch");
+  std::vector<double> out(actual.binCount());
+  for (std::size_t t = 0; t < actual.binCount(); ++t) {
+    out[t] = RelL2Temporal(actual.bin(t), estimate.bin(t));
+  }
+  return out;
+}
+
+double RelL2Objective(const traffic::TrafficMatrixSeries& actual,
+                      const traffic::TrafficMatrixSeries& estimate) {
+  double acc = 0.0;
+  for (double e : RelL2TemporalSeries(actual, estimate)) acc += e;
+  return acc;
+}
+
+double RelL2Spatial(const traffic::TrafficMatrixSeries& actual,
+                    const traffic::TrafficMatrixSeries& estimate,
+                    std::size_t i, std::size_t j) {
+  const linalg::Vector a = actual.odSeries(i, j);
+  const linalg::Vector e = estimate.odSeries(i, j);
+  const double denom = linalg::Norm2(a);
+  ICTM_REQUIRE(denom > 0.0, "RelL2Spatial of an all-zero OD series");
+  return linalg::Norm2(linalg::Sub(a, e)) / denom;
+}
+
+std::vector<double> PercentImprovementSeries(
+    const std::vector<double>& baselineErrors,
+    const std::vector<double>& candidateErrors) {
+  ICTM_REQUIRE(baselineErrors.size() == candidateErrors.size(),
+               "error series length mismatch");
+  std::vector<double> out(baselineErrors.size());
+  for (std::size_t t = 0; t < baselineErrors.size(); ++t) {
+    ICTM_REQUIRE(baselineErrors[t] > 0.0, "baseline error must be positive");
+    out[t] = 100.0 * (baselineErrors[t] - candidateErrors[t]) /
+             baselineErrors[t];
+  }
+  return out;
+}
+
+double Mean(const std::vector<double>& xs) {
+  ICTM_REQUIRE(!xs.empty(), "mean of empty series");
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+}  // namespace ictm::core

@@ -1,0 +1,45 @@
+// Error metrics — paper Eq. 6 and the improvement series plotted in
+// Figs. 3, 11, 12, 13.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "traffic/tm_series.hpp"
+
+namespace ictm::core {
+
+/// Relative L2 temporal error at one bin (Eq. 6):
+/// ||X(t) - Xhat(t)||_F / ||X(t)||_F.
+double RelL2Temporal(const linalg::Matrix& actual,
+                     const linalg::Matrix& estimate);
+
+/// RelL2 per bin for two aligned series.
+std::vector<double> RelL2TemporalSeries(
+    const traffic::TrafficMatrixSeries& actual,
+    const traffic::TrafficMatrixSeries& estimate);
+
+/// Sum over bins of RelL2Temporal — the objective minimised by the
+/// paper's parameter-fitting program (Sec. 5.1).
+double RelL2Objective(const traffic::TrafficMatrixSeries& actual,
+                      const traffic::TrafficMatrixSeries& estimate);
+
+/// Relative L2 *spatial* error of one OD pair over time:
+/// ||x_ij(.) - xhat_ij(.)||_2 / ||x_ij(.)||_2 (the companion metric in
+/// the TM-estimation literature the paper cites).
+double RelL2Spatial(const traffic::TrafficMatrixSeries& actual,
+                    const traffic::TrafficMatrixSeries& estimate,
+                    std::size_t i, std::size_t j);
+
+/// Percentage improvement of `candidate` over `baseline` at each bin:
+/// 100 * (err_baseline - err_candidate) / err_baseline.
+/// This is the y-axis of Figs. 3 and 11-13.
+std::vector<double> PercentImprovementSeries(
+    const std::vector<double>& baselineErrors,
+    const std::vector<double>& candidateErrors);
+
+/// Mean of a series (helper for the horizontal mean lines the figures
+/// draw).
+double Mean(const std::vector<double>& xs);
+
+}  // namespace ictm::core

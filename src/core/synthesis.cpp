@@ -1,0 +1,36 @@
+#include "core/synthesis.hpp"
+
+#include "linalg/simplex.hpp"
+#include "stats/distributions.hpp"
+
+namespace ictm::core {
+
+SyntheticTm GenerateSyntheticTm(const SynthesisConfig& config,
+                                stats::Rng& rng) {
+  ICTM_REQUIRE(config.nodes > 0, "need at least one node");
+  ICTM_REQUIRE(config.bins > 0, "need at least one bin");
+  ICTM_REQUIRE(config.f > 0.0 && config.f < 1.0, "f out of (0,1)");
+
+  // Step 2: long-tailed preferences.
+  stats::Lognormal prefDist(config.preferenceMu, config.preferenceSigma);
+  linalg::Vector preference(config.nodes);
+  for (double& p : preference) p = prefDist.sample(rng);
+  preference = linalg::NormalizeNonNegative(preference);
+
+  // Step 3: cyclo-stationary activities.
+  const auto ensemble = timeseries::GenerateActivityEnsemble(
+      config.nodes, config.bins, config.activityModel,
+      config.peakLogSigma, rng);
+  linalg::Matrix activity(config.nodes, config.bins);
+  for (std::size_t i = 0; i < config.nodes; ++i)
+    for (std::size_t t = 0; t < config.bins; ++t)
+      activity(i, t) = ensemble[i][t];
+
+  // Step 4: compose via the stable-fP model.
+  SyntheticTm out{
+      EvaluateStableFP(config.f, activity, preference, config.binSeconds),
+      std::move(preference), std::move(activity), config.f};
+  return out;
+}
+
+}  // namespace ictm::core

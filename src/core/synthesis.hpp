@@ -1,0 +1,44 @@
+// Synthetic TM generation — the paper Sec. 5.5 recipe:
+//   1. choose f (0.2-0.3 observed),
+//   2. draw preferences {P_i} from a long-tailed (lognormal)
+//      distribution (Fig. 7: MLE mu ~ -4.3, sigma ~ 1.7),
+//   3. generate activity series {A_i(t)} with a cyclo-stationary
+//      model (diurnal + weekend),
+//   4. compose X_ij(t) via the stable-fP model (Eq. 5).
+#pragma once
+
+#include "core/ic_model.hpp"
+#include "stats/rng.hpp"
+#include "timeseries/cyclostationary.hpp"
+#include "traffic/tm_series.hpp"
+
+namespace ictm::core {
+
+/// Configuration of the Sec. 5.5 generator.
+struct SynthesisConfig {
+  std::size_t nodes = 22;
+  std::size_t bins = 2016;       ///< one week of 5-minute bins
+  double binSeconds = 300.0;
+  double f = 0.25;               ///< paper-recommended range 0.2-0.3
+  double preferenceMu = -4.3;    ///< lognormal MLE from Fig. 7
+  double preferenceSigma = 1.7;
+  /// Cyclo-stationary activity model shared by all nodes; per-node
+  /// peaks are scattered lognormally with `peakLogSigma`.
+  timeseries::ActivityModel activityModel;
+  double peakLogSigma = 1.0;
+};
+
+/// Output of the generator: the TM series plus the ground-truth
+/// parameters that produced it (for validation / what-if analysis).
+struct SyntheticTm {
+  traffic::TrafficMatrixSeries series;
+  linalg::Vector preference;      ///< normalised
+  linalg::Matrix activitySeries;  ///< n x T
+  double f = 0.25;
+};
+
+/// Runs the full recipe.  Deterministic given the seed inside `rng`.
+SyntheticTm GenerateSyntheticTm(const SynthesisConfig& config,
+                                stats::Rng& rng);
+
+}  // namespace ictm::core

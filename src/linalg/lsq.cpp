@@ -1,0 +1,91 @@
+#include "linalg/lsq.hpp"
+
+#include <cmath>
+
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+
+namespace ictm::linalg {
+
+Vector SolveLeastSquares(const Matrix& a, const Vector& b) {
+  ICTM_REQUIRE(a.rows() == b.size(), "rhs length mismatch");
+  if (a.rows() >= a.cols()) {
+    HouseholderQR qr(a);
+    if (qr.rank() == a.cols()) {
+      return qr.solve(b);
+    }
+  }
+  return SolveMinNorm(a, b);
+}
+
+Vector SolveWeightedLeastSquares(const Matrix& a, const Vector& b,
+                                 const Vector& weights) {
+  ICTM_REQUIRE(a.rows() == b.size(), "rhs length mismatch");
+  ICTM_REQUIRE(a.rows() == weights.size(), "weight length mismatch");
+  Matrix wa = a;
+  Vector wb = b;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    ICTM_REQUIRE(weights[i] >= 0.0, "negative weight");
+    const double sw = std::sqrt(weights[i]);
+    for (std::size_t j = 0; j < a.cols(); ++j) wa(i, j) *= sw;
+    wb[i] *= sw;
+  }
+  return SolveLeastSquares(wa, wb);
+}
+
+Vector SolveRidge(const Matrix& a, const Vector& b, double lambda) {
+  ICTM_REQUIRE(lambda > 0.0, "ridge parameter must be positive");
+  ICTM_REQUIRE(a.rows() == b.size(), "rhs length mismatch");
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  // Augmented system [A; sqrt(lambda) I] x = [b; 0].
+  Matrix aug(m + n, n, 0.0);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) aug(i, j) = a(i, j);
+  const double sl = std::sqrt(lambda);
+  for (std::size_t j = 0; j < n; ++j) aug(m + j, j) = sl;
+  Vector bAug(m + n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) bAug[i] = b[i];
+  HouseholderQR qr(aug);
+  return qr.solve(bAug);
+}
+
+double ResidualNorm(const Matrix& a, const Vector& x, const Vector& b) {
+  return Norm2(Sub(a * x, b));
+}
+
+Matrix CholeskyUpper(const Matrix& a) {
+  ICTM_REQUIRE(a.rows() == a.cols(), "Cholesky of a non-square matrix");
+  const std::size_t n = a.rows();
+  Matrix u(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < i; ++k) acc -= u(k, i) * u(k, j);
+      if (i == j) {
+        ICTM_REQUIRE(acc > 0.0,
+                     "matrix is not positive definite in Cholesky");
+        u(i, i) = std::sqrt(acc);
+      } else {
+        u(i, j) = acc / u(i, i);
+      }
+    }
+  }
+  return u;
+}
+
+Vector ForwardSubstituteTranspose(const Matrix& u, const Vector& b) {
+  ICTM_REQUIRE(u.rows() == u.cols(), "triangular matrix must be square");
+  ICTM_REQUIRE(b.size() == u.rows(), "rhs length mismatch");
+  const std::size_t n = u.rows();
+  Vector y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= u(k, i) * y[k];
+    ICTM_REQUIRE(u(i, i) != 0.0, "singular triangular matrix");
+    y[i] = acc / u(i, i);
+  }
+  return y;
+}
+
+}  // namespace ictm::linalg

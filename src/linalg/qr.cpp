@@ -1,0 +1,124 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+
+namespace ictm::linalg {
+
+HouseholderQR::HouseholderQR(const Matrix& a) : qr_(a) {
+  ICTM_REQUIRE(a.rows() >= a.cols(),
+               "HouseholderQR requires rows() >= cols()");
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  betas_.assign(n, 0.0);
+  diagR_.assign(n, 0.0);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Norm of the k-th column below (and including) the diagonal.
+    double normx = 0.0;
+    for (std::size_t i = k; i < m; ++i) normx = std::hypot(normx, qr_(i, k));
+    if (normx == 0.0) {
+      betas_[k] = 0.0;
+      diagR_[k] = 0.0;
+      continue;
+    }
+    const double alpha = qr_(k, k) >= 0 ? -normx : normx;
+    // Householder vector v = x - alpha*e1, stored in the column below
+    // (and including) the diagonal; beta = 2 / ||v||^2.
+    qr_(k, k) -= alpha;
+    double v2 = 0.0;
+    for (std::size_t i = k; i < m; ++i) v2 += qr_(i, k) * qr_(i, k);
+    betas_[k] = v2 == 0.0 ? 0.0 : 2.0 / v2;
+    diagR_[k] = alpha;
+
+    // Apply the reflector to the trailing columns.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double dot = 0.0;
+      for (std::size_t i = k; i < m; ++i) dot += qr_(i, k) * qr_(i, j);
+      const double s = betas_[k] * dot;
+      for (std::size_t i = k; i < m; ++i) qr_(i, j) -= s * qr_(i, k);
+    }
+  }
+}
+
+void HouseholderQR::applyQTranspose(Vector& v) const {
+  ICTM_REQUIRE(v.size() == qr_.rows(), "vector length mismatch");
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  for (std::size_t k = 0; k < n; ++k) {
+    if (betas_[k] == 0.0) continue;
+    double dot = 0.0;
+    for (std::size_t i = k; i < m; ++i) dot += qr_(i, k) * v[i];
+    const double s = betas_[k] * dot;
+    for (std::size_t i = k; i < m; ++i) v[i] -= s * qr_(i, k);
+  }
+}
+
+std::size_t HouseholderQR::rank(double rankTol) const {
+  double dmax = 0.0;
+  for (double d : diagR_) dmax = std::max(dmax, std::fabs(d));
+  if (dmax == 0.0) return 0;
+  std::size_t r = 0;
+  for (double d : diagR_) {
+    if (std::fabs(d) > rankTol * dmax) ++r;
+  }
+  return r;
+}
+
+Vector HouseholderQR::solve(const Vector& b, double rankTol) const {
+  ICTM_REQUIRE(b.size() == qr_.rows(), "rhs length mismatch");
+  const std::size_t n = qr_.cols();
+  ICTM_REQUIRE(rank(rankTol) == n,
+               "HouseholderQR::solve: matrix is rank deficient");
+  Vector qtb = b;
+  applyQTranspose(qtb);
+  // Back substitution on R x = (Q^T b)[0..n).
+  Vector x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = qtb[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= qr_(ii, j) * x[j];
+    x[ii] = acc / diagR_[ii];
+  }
+  return x;
+}
+
+Matrix HouseholderQR::solve(const Matrix& b, double rankTol) const {
+  ICTM_REQUIRE(b.rows() == qr_.rows(), "rhs row count mismatch");
+  Matrix x(qr_.cols(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    x.setCol(c, solve(b.col(c), rankTol));
+  }
+  return x;
+}
+
+Matrix HouseholderQR::thinR() const {
+  const std::size_t n = qr_.cols();
+  Matrix r(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    r(i, i) = diagR_[i];
+    for (std::size_t j = i + 1; j < n; ++j) r(i, j) = qr_(i, j);
+  }
+  return r;
+}
+
+Matrix HouseholderQR::thinQ() const {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  Matrix q(m, n, 0.0);
+  // Apply the stored reflectors to the first n columns of the identity:
+  // Q e_j = H_0 H_1 ... H_{n-1} e_j, reflectors applied in reverse order.
+  for (std::size_t j = 0; j < n; ++j) {
+    Vector e(m, 0.0);
+    e[j] = 1.0;
+    for (std::size_t kk = n; kk-- > 0;) {
+      if (betas_[kk] == 0.0) continue;
+      double dot = 0.0;
+      for (std::size_t i = kk; i < m; ++i) dot += qr_(i, kk) * e[i];
+      const double s = betas_[kk] * dot;
+      for (std::size_t i = kk; i < m; ++i) e[i] -= s * qr_(i, kk);
+    }
+    q.setCol(j, e);
+  }
+  return q;
+}
+
+}  // namespace ictm::linalg

@@ -1,0 +1,48 @@
+// Householder QR factorisation and QR-based least-squares solving.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace ictm::linalg {
+
+/// Householder QR factorisation of an m x n matrix with m >= n.
+///
+/// Stores the factorisation in compact form (Householder vectors in the
+/// lower triangle, R in the upper triangle) and exposes least-squares
+/// solving, rank estimation and explicit Q/R extraction.
+class HouseholderQR {
+ public:
+  /// Factors `a` (rows() >= cols() required).  O(m n^2).
+  explicit HouseholderQR(const Matrix& a);
+
+  std::size_t rows() const noexcept { return qr_.rows(); }
+  std::size_t cols() const noexcept { return qr_.cols(); }
+
+  /// Minimum-residual solution of `a x = b` in the least-squares sense.
+  /// Throws when the factored matrix is rank deficient beyond `rankTol`
+  /// relative to the largest diagonal of R.
+  Vector solve(const Vector& b, double rankTol = 1e-12) const;
+
+  /// Solves for each column of B; returns a cols() x B.cols() matrix.
+  Matrix solve(const Matrix& b, double rankTol = 1e-12) const;
+
+  /// Numerical rank: number of diagonal entries of R above
+  /// rankTol * max|diag(R)|.
+  std::size_t rank(double rankTol = 1e-12) const;
+
+  /// Applies Q^T to a vector of length rows() (in place).
+  void applyQTranspose(Vector& v) const;
+
+  /// Explicit n x n upper-triangular R factor (thin form).
+  Matrix thinR() const;
+
+  /// Explicit m x n orthonormal Q factor (thin form).
+  Matrix thinQ() const;
+
+ private:
+  Matrix qr_;          // compact Householder storage
+  Vector betas_;       // Householder scalars
+  Vector diagR_;       // diagonal of R
+};
+
+}  // namespace ictm::linalg

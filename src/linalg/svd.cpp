@@ -1,0 +1,155 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ictm::linalg {
+
+std::size_t SvdResult::rank(double tol) const {
+  if (s.empty()) return 0;
+  const double cutoff = tol * s.front();
+  std::size_t r = 0;
+  for (double sv : s) {
+    if (sv > cutoff && sv > 0.0) ++r;
+  }
+  return r;
+}
+
+Matrix SvdResult::reconstruct() const {
+  Matrix us = u;
+  for (std::size_t j = 0; j < s.size(); ++j) {
+    for (std::size_t i = 0; i < us.rows(); ++i) us(i, j) *= s[j];
+  }
+  return us * v.transposed();
+}
+
+namespace {
+
+// One-sided Jacobi on the columns of `w` (m x n, m >= n).  On return the
+// columns of w are U*S and `v` accumulates the right rotations.
+void JacobiSweepLoop(Matrix& w, Matrix& v, int maxSweeps) {
+  const std::size_t n = w.cols();
+  const std::size_t m = w.rows();
+  const double eps = 1e-15;
+
+  for (int sweep = 0; sweep < maxSweeps; ++sweep) {
+    bool rotated = false;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        // Compute the 2x2 Gram entries for columns p and q.
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double wp = w(i, p), wq = w(i, q);
+          app += wp * wp;
+          aqq += wq * wq;
+          apq += wp * wq;
+        }
+        if (std::fabs(apq) <= eps * std::sqrt(app * aqq) || apq == 0.0) {
+          continue;
+        }
+        rotated = true;
+        // Jacobi rotation annihilating the (p,q) Gram entry.
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double wp = w(i, p), wq = w(i, q);
+          w(i, p) = c * wp - s * wq;
+          w(i, q) = s * wp + c * wq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vp = v(i, p), vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+}
+
+}  // namespace
+
+SvdResult ComputeSvd(const Matrix& a, int maxSweeps) {
+  ICTM_REQUIRE(!a.empty(), "SVD of an empty matrix");
+  // Work on A (or A^T when wide) so that rows >= cols.
+  const bool transposed = a.rows() < a.cols();
+  Matrix w = transposed ? a.transposed() : a;
+  const std::size_t n = w.cols();
+  Matrix v = Matrix::Identity(n);
+
+  JacobiSweepLoop(w, v, maxSweeps);
+
+  // Column norms are the singular values.
+  Vector s(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (std::size_t i = 0; i < w.rows(); ++i)
+      norm = std::hypot(norm, w(i, j));
+    s[j] = norm;
+  }
+
+  // Sort descending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return s[i] > s[j]; });
+
+  Matrix u(w.rows(), n, 0.0);
+  Matrix vSorted(n, n, 0.0);
+  Vector sSorted(n, 0.0);
+  for (std::size_t jj = 0; jj < n; ++jj) {
+    const std::size_t src = order[jj];
+    sSorted[jj] = s[src];
+    for (std::size_t i = 0; i < n; ++i) vSorted(i, jj) = v(i, src);
+    if (s[src] > 0.0) {
+      for (std::size_t i = 0; i < w.rows(); ++i)
+        u(i, jj) = w(i, src) / s[src];
+    }
+  }
+
+  SvdResult out;
+  if (transposed) {
+    // a = (w)^T = (U S V^T)^T = V S U^T.
+    out.u = std::move(vSorted);
+    out.v = std::move(u);
+  } else {
+    out.u = std::move(u);
+    out.v = std::move(vSorted);
+  }
+  out.s = std::move(sSorted);
+  return out;
+}
+
+Matrix PseudoInverse(const Matrix& a, double tol) {
+  const SvdResult svd = ComputeSvd(a);
+  const double cutoff =
+      svd.s.empty() ? 0.0 : tol * std::max(svd.s.front(), 0.0);
+  // pinv(A) = V * diag(1/s) * U^T over the retained spectrum.
+  Matrix vs = svd.v;  // n x k
+  for (std::size_t j = 0; j < svd.s.size(); ++j) {
+    const double inv = svd.s[j] > cutoff && svd.s[j] > 0.0
+                           ? 1.0 / svd.s[j]
+                           : 0.0;
+    for (std::size_t i = 0; i < vs.rows(); ++i) vs(i, j) *= inv;
+  }
+  return vs * svd.u.transposed();
+}
+
+Vector SolveMinNorm(const Matrix& a, const Vector& b, double tol) {
+  ICTM_REQUIRE(b.size() == a.rows(), "rhs length mismatch in SolveMinNorm");
+  const SvdResult svd = ComputeSvd(a);
+  const double cutoff =
+      svd.s.empty() ? 0.0 : tol * std::max(svd.s.front(), 0.0);
+  // x = V diag(1/s) U^T b over the retained spectrum.
+  Vector utb = TransposeTimes(svd.u, b);
+  for (std::size_t j = 0; j < svd.s.size(); ++j) {
+    utb[j] = (svd.s[j] > cutoff && svd.s[j] > 0.0) ? utb[j] / svd.s[j] : 0.0;
+  }
+  return svd.v * utb;
+}
+
+}  // namespace ictm::linalg

@@ -1,0 +1,44 @@
+// Singular value decomposition (one-sided Jacobi) and pseudo-inverse.
+//
+// The TM-estimation pipeline needs Moore–Penrose pseudo-inverses of
+// rank-deficient routing matrices (Sec. 6 of the paper), which QR alone
+// cannot provide; Jacobi SVD is compact and unconditionally convergent
+// at the modest sizes used here.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace ictm::linalg {
+
+/// Result of a thin singular value decomposition A = U * diag(S) * V^T.
+///
+/// For an m x n input with k = min(m, n):  U is m x k with orthonormal
+/// columns, S holds the k singular values sorted descending, and V is
+/// n x k with orthonormal columns.
+struct SvdResult {
+  Matrix u;
+  Vector s;
+  Matrix v;
+
+  /// Numerical rank: singular values above tol * max(S).
+  std::size_t rank(double tol = 1e-12) const;
+
+  /// Reconstructs U * diag(S) * V^T (mainly for tests).
+  Matrix reconstruct() const;
+};
+
+/// Computes the thin SVD of `a` via the one-sided Jacobi method.
+///
+/// `maxSweeps` bounds the number of full Jacobi sweeps; convergence is
+/// declared when all column pairs are numerically orthogonal.
+SvdResult ComputeSvd(const Matrix& a, int maxSweeps = 60);
+
+/// Moore–Penrose pseudo-inverse computed from the SVD; singular values
+/// below `tol * max(S)` are treated as zero.
+Matrix PseudoInverse(const Matrix& a, double tol = 1e-12);
+
+/// Solves min ||a x - b||_2 with the minimum-norm solution (works for
+/// rank-deficient and underdetermined systems).
+Vector SolveMinNorm(const Matrix& a, const Vector& b, double tol = 1e-12);
+
+}  // namespace ictm::linalg

@@ -1,0 +1,49 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+
+#include "stats/summary.hpp"
+
+namespace ictm::stats {
+
+BootstrapInterval BootstrapCi(const std::vector<double>& sample,
+                              const Statistic& statistic,
+                              double confidence, std::size_t replicates,
+                              Rng& rng) {
+  ICTM_REQUIRE(!sample.empty(), "bootstrap of empty sample");
+  ICTM_REQUIRE(confidence > 0.0 && confidence < 1.0,
+               "confidence out of (0,1)");
+  ICTM_REQUIRE(replicates >= 10, "too few bootstrap replicates");
+
+  BootstrapInterval out;
+  out.estimate = statistic(sample);
+
+  std::vector<double> stats(replicates);
+  std::vector<double> resample(sample.size());
+  for (std::size_t r = 0; r < replicates; ++r) {
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      resample[i] =
+          sample[rng.uniformInt(0, sample.size() - 1)];
+    }
+    stats[r] = statistic(resample);
+  }
+  const double alpha = (1.0 - confidence) / 2.0;
+  out.lower = Quantile(stats, alpha);
+  out.upper = Quantile(stats, 1.0 - alpha);
+  return out;
+}
+
+BootstrapInterval BootstrapMeanCi(const std::vector<double>& sample,
+                                  double confidence,
+                                  std::size_t replicates, Rng& rng) {
+  return BootstrapCi(
+      sample,
+      [](const std::vector<double>& xs) {
+        double acc = 0.0;
+        for (double x : xs) acc += x;
+        return acc / static_cast<double>(xs.size());
+      },
+      confidence, replicates, rng);
+}
+
+}  // namespace ictm::stats

@@ -1,0 +1,37 @@
+// Non-parametric bootstrap confidence intervals.
+//
+// Used to put error bars on the parameter-stability results (Figs. 5-6
+// report point estimates per week; the bootstrap quantifies how much
+// of the week-to-week variation is sampling noise).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace ictm::stats {
+
+/// A two-sided bootstrap percentile interval.
+struct BootstrapInterval {
+  double estimate = 0.0;  ///< statistic on the original sample
+  double lower = 0.0;     ///< lower percentile bound
+  double upper = 0.0;     ///< upper percentile bound
+};
+
+/// Statistic signature: sample -> scalar.
+using Statistic = std::function<double(const std::vector<double>&)>;
+
+/// Percentile-bootstrap interval for `statistic` on `sample`.
+/// `confidence` in (0, 1); `replicates` resamples with replacement.
+BootstrapInterval BootstrapCi(const std::vector<double>& sample,
+                              const Statistic& statistic,
+                              double confidence, std::size_t replicates,
+                              Rng& rng);
+
+/// Convenience: bootstrap CI of the sample mean.
+BootstrapInterval BootstrapMeanCi(const std::vector<double>& sample,
+                                  double confidence,
+                                  std::size_t replicates, Rng& rng);
+
+}  // namespace ictm::stats

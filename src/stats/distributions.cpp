@@ -1,0 +1,141 @@
+#include "stats/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ictm::stats {
+
+namespace {
+constexpr double kSqrt2 = 1.41421356237309504880;
+constexpr double kSqrt2Pi = 2.50662827463100050242;
+}  // namespace
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / kSqrt2); }
+
+// ---- Lognormal --------------------------------------------------------
+
+Lognormal::Lognormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  ICTM_REQUIRE(sigma > 0.0, "lognormal sigma must be positive");
+}
+
+double Lognormal::sample(Rng& rng) const {
+  return std::exp(mu_ + sigma_ * rng.gaussian());
+}
+
+double Lognormal::pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) / (x * sigma_ * kSqrt2Pi);
+}
+
+double Lognormal::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return NormalCdf((std::log(x) - mu_) / sigma_);
+}
+
+double Lognormal::ccdf(double x) const { return 1.0 - cdf(x); }
+
+double Lognormal::mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+// ---- Exponential ------------------------------------------------------
+
+Exponential::Exponential(double lambda) : lambda_(lambda) {
+  ICTM_REQUIRE(lambda > 0.0, "exponential rate must be positive");
+}
+
+double Exponential::sample(Rng& rng) const {
+  return rng.exponential(lambda_);
+}
+
+double Exponential::pdf(double x) const {
+  return x < 0.0 ? 0.0 : lambda_ * std::exp(-lambda_ * x);
+}
+
+double Exponential::cdf(double x) const {
+  return x < 0.0 ? 0.0 : 1.0 - std::exp(-lambda_ * x);
+}
+
+double Exponential::ccdf(double x) const {
+  return x < 0.0 ? 1.0 : std::exp(-lambda_ * x);
+}
+
+double Exponential::mean() const { return 1.0 / lambda_; }
+
+// ---- Pareto -----------------------------------------------------------
+
+Pareto::Pareto(double xm, double alpha) : xm_(xm), alpha_(alpha) {
+  ICTM_REQUIRE(xm > 0.0, "Pareto scale must be positive");
+  ICTM_REQUIRE(alpha > 0.0, "Pareto shape must be positive");
+}
+
+double Pareto::sample(Rng& rng) const {
+  // Inverse-CDF: x = xm / U^(1/alpha).
+  double u = rng.uniform();
+  if (u <= 0.0) u = 1e-16;
+  return xm_ / std::pow(u, 1.0 / alpha_);
+}
+
+double Pareto::pdf(double x) const {
+  if (x < xm_) return 0.0;
+  return alpha_ * std::pow(xm_, alpha_) / std::pow(x, alpha_ + 1.0);
+}
+
+double Pareto::cdf(double x) const {
+  if (x < xm_) return 0.0;
+  return 1.0 - std::pow(xm_ / x, alpha_);
+}
+
+double Pareto::ccdf(double x) const { return 1.0 - cdf(x); }
+
+double Pareto::mean() const {
+  ICTM_REQUIRE(alpha_ > 1.0, "Pareto mean is infinite for alpha <= 1");
+  return alpha_ * xm_ / (alpha_ - 1.0);
+}
+
+// ---- Discrete sampling -------------------------------------------------
+
+std::size_t SampleDiscrete(Rng& rng, const std::vector<double>& weights) {
+  ICTM_REQUIRE(!weights.empty(), "empty weight vector");
+  double total = 0.0;
+  for (double w : weights) {
+    ICTM_REQUIRE(w >= 0.0, "negative weight");
+    total += w;
+  }
+  ICTM_REQUIRE(total > 0.0, "all weights zero");
+  double u = rng.uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge
+}
+
+DiscreteSampler::DiscreteSampler(const std::vector<double>& weights) {
+  ICTM_REQUIRE(!weights.empty(), "empty weight vector");
+  cdf_.resize(weights.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    ICTM_REQUIRE(weights[i] >= 0.0, "negative weight");
+    acc += weights[i];
+    cdf_[i] = acc;
+  }
+  total_ = acc;
+  ICTM_REQUIRE(total_ > 0.0, "all weights zero");
+}
+
+std::size_t DiscreteSampler::sample(Rng& rng) const {
+  const double u = rng.uniform() * total_;
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double DiscreteSampler::probability(std::size_t i) const {
+  ICTM_REQUIRE(i < cdf_.size(), "index out of range");
+  const double lo = i == 0 ? 0.0 : cdf_[i - 1];
+  return (cdf_[i] - lo) / total_;
+}
+
+}  // namespace ictm::stats

@@ -1,0 +1,99 @@
+// Parametric distributions used by the paper: lognormal (preference
+// values, Sec. 5.3), exponential (the alternative fit it rejects), and
+// Pareto/Zipf helpers for heavy-tailed workload sizes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace ictm::stats {
+
+/// Lognormal distribution with log-space parameters mu, sigma.
+/// The paper reports MLE fits of mu ~ -4.3, sigma ~ 1.7 for {P_i}.
+class Lognormal {
+ public:
+  Lognormal(double mu, double sigma);
+
+  double mu() const noexcept { return mu_; }
+  double sigma() const noexcept { return sigma_; }
+
+  /// Random draw.
+  double sample(Rng& rng) const;
+  /// Probability density at x > 0 (0 for x <= 0).
+  double pdf(double x) const;
+  /// Cumulative distribution function.
+  double cdf(double x) const;
+  /// Complementary CDF P(X > x).
+  double ccdf(double x) const;
+  /// Mean exp(mu + sigma^2/2).
+  double mean() const;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Exponential distribution with rate lambda (mean 1/lambda).
+class Exponential {
+ public:
+  explicit Exponential(double lambda);
+
+  double lambda() const noexcept { return lambda_; }
+
+  double sample(Rng& rng) const;
+  double pdf(double x) const;
+  double cdf(double x) const;
+  double ccdf(double x) const;
+  double mean() const;
+
+ private:
+  double lambda_;
+};
+
+/// Pareto distribution with scale xm > 0 and shape alpha > 0; used for
+/// heavy-tailed connection sizes in the workload generator.
+class Pareto {
+ public:
+  Pareto(double xm, double alpha);
+
+  double xm() const noexcept { return xm_; }
+  double alpha() const noexcept { return alpha_; }
+
+  double sample(Rng& rng) const;
+  double pdf(double x) const;
+  double cdf(double x) const;
+  double ccdf(double x) const;
+  /// Mean (infinite when alpha <= 1; throws in that case).
+  double mean() const;
+
+ private:
+  double xm_;
+  double alpha_;
+};
+
+/// Standard normal CDF (via std::erfc).
+double NormalCdf(double z);
+
+/// Draws an index in [0, weights.size()) with probability proportional
+/// to weights[i] >= 0; at least one weight must be positive.
+std::size_t SampleDiscrete(Rng& rng, const std::vector<double>& weights);
+
+/// Cached alias-free discrete sampler for repeated draws from the same
+/// weight vector (linear scan over the CDF via binary search).
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(const std::vector<double>& weights);
+
+  std::size_t sample(Rng& rng) const;
+  std::size_t size() const noexcept { return cdf_.size(); }
+  /// Normalised probability of index i.
+  double probability(std::size_t i) const;
+
+ private:
+  std::vector<double> cdf_;  // inclusive prefix sums, last == total
+  double total_;
+};
+
+}  // namespace ictm::stats

@@ -1,0 +1,109 @@
+#include "stats/fitting.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/summary.hpp"
+
+namespace ictm::stats {
+
+Lognormal FitLognormalMle(const std::vector<double>& xs) {
+  ICTM_REQUIRE(!xs.empty(), "fit of empty sample");
+  double mu = 0.0;
+  for (double x : xs) {
+    ICTM_REQUIRE(x > 0.0, "lognormal fit requires positive samples");
+    mu += std::log(x);
+  }
+  mu /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) {
+    const double d = std::log(x) - mu;
+    var += d * d;
+  }
+  var /= static_cast<double>(xs.size());
+  // Guard against degenerate (constant) samples.
+  const double sigma = std::max(std::sqrt(var), 1e-9);
+  return Lognormal(mu, sigma);
+}
+
+Exponential FitExponentialMle(const std::vector<double>& xs) {
+  ICTM_REQUIRE(!xs.empty(), "fit of empty sample");
+  double mean = 0.0;
+  for (double x : xs) {
+    ICTM_REQUIRE(x >= 0.0, "exponential fit requires non-negative samples");
+    mean += x;
+  }
+  mean /= static_cast<double>(xs.size());
+  ICTM_REQUIRE(mean > 0.0, "exponential fit requires positive mean");
+  return Exponential(1.0 / mean);
+}
+
+namespace {
+
+template <typename Dist>
+double LogLikelihoodImpl(const Dist& d, const std::vector<double>& xs) {
+  ICTM_REQUIRE(!xs.empty(), "log-likelihood of empty sample");
+  double ll = 0.0;
+  for (double x : xs) {
+    const double p = d.pdf(x);
+    ll += std::log(std::max(p, 1e-300));
+  }
+  return ll;
+}
+
+template <typename Dist>
+double KsStatisticImpl(std::vector<double> xs, const Dist& d) {
+  ICTM_REQUIRE(!xs.empty(), "KS statistic of empty sample");
+  std::sort(xs.begin(), xs.end());
+  const double n = static_cast<double>(xs.size());
+  double ks = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double model = d.cdf(xs[i]);
+    const double empLo = static_cast<double>(i) / n;
+    const double empHi = static_cast<double>(i + 1) / n;
+    ks = std::max(ks, std::fabs(model - empLo));
+    ks = std::max(ks, std::fabs(model - empHi));
+  }
+  return ks;
+}
+
+template <typename Dist>
+double LogCcdfMseImpl(const std::vector<double>& xs, const Dist& d) {
+  const auto emp = EmpiricalCcdf(xs);
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (const auto& pt : emp) {
+    if (pt.prob <= 0.0) continue;  // last point: log undefined
+    const double model = std::max(d.ccdf(pt.x), 1e-300);
+    const double diff = std::log10(pt.prob) - std::log10(model);
+    acc += diff * diff;
+    ++count;
+  }
+  ICTM_REQUIRE(count > 0, "no usable CCDF points");
+  return acc / static_cast<double>(count);
+}
+
+}  // namespace
+
+double LogLikelihood(const Lognormal& d, const std::vector<double>& xs) {
+  return LogLikelihoodImpl(d, xs);
+}
+double LogLikelihood(const Exponential& d, const std::vector<double>& xs) {
+  return LogLikelihoodImpl(d, xs);
+}
+
+double KsStatistic(const std::vector<double>& xs, const Lognormal& d) {
+  return KsStatisticImpl(xs, d);
+}
+double KsStatistic(const std::vector<double>& xs, const Exponential& d) {
+  return KsStatisticImpl(xs, d);
+}
+
+double LogCcdfMse(const std::vector<double>& xs, const Lognormal& d) {
+  return LogCcdfMseImpl(xs, d);
+}
+double LogCcdfMse(const std::vector<double>& xs, const Exponential& d) {
+  return LogCcdfMseImpl(xs, d);
+}
+
+}  // namespace ictm::stats

@@ -1,0 +1,82 @@
+// Seeded random number generation for reproducible experiments.
+//
+// Every workload generator and synthetic-dataset builder in this
+// library takes an explicit seed so that benchmark rows are exactly
+// reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "common/error.hpp"
+
+namespace ictm::stats {
+
+/// Thin wrapper around std::mt19937_64 with convenience draws.
+///
+/// Not thread-safe; use one Rng per thread / per generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi); requires lo < hi.
+  double uniform(double lo, double hi) {
+    ICTM_REQUIRE(lo < hi, "uniform bounds inverted");
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::uint64_t uniformInt(std::uint64_t lo, std::uint64_t hi) {
+    ICTM_REQUIRE(lo <= hi, "uniformInt bounds inverted");
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  /// Standard normal draw.
+  double gaussian() {
+    return std::normal_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Normal draw with the given mean and standard deviation (sd >= 0).
+  double gaussian(double mean, double sd) {
+    ICTM_REQUIRE(sd >= 0.0, "negative standard deviation");
+    if (sd == 0.0) return mean;
+    return std::normal_distribution<double>(mean, sd)(engine_);
+  }
+
+  /// Bernoulli draw with success probability p in [0, 1].
+  bool bernoulli(double p) {
+    ICTM_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Poisson draw with mean lambda >= 0.
+  std::uint64_t poisson(double lambda) {
+    ICTM_REQUIRE(lambda >= 0.0, "negative Poisson mean");
+    if (lambda == 0.0) return 0;
+    return static_cast<std::uint64_t>(
+        std::poisson_distribution<long long>(lambda)(engine_));
+  }
+
+  /// Exponential draw with rate lambda > 0 (mean 1/lambda).
+  double exponential(double lambda) {
+    ICTM_REQUIRE(lambda > 0.0, "exponential rate must be positive");
+    return std::exponential_distribution<double>(lambda)(engine_);
+  }
+
+  /// Access to the raw engine (for std distributions not wrapped here).
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+  /// Derives an independent child generator; useful to decorrelate
+  /// sub-streams (e.g. one per node) from a master seed.
+  Rng fork() { return Rng(engine_()); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ictm::stats

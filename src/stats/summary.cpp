@@ -1,0 +1,131 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ictm::stats {
+
+Summary Summarize(const std::vector<double>& xs) {
+  ICTM_REQUIRE(!xs.empty(), "Summarize of empty sample");
+  Summary s;
+  s.count = xs.size();
+  s.min = xs.front();
+  s.max = xs.front();
+  for (double x : xs) {
+    s.sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = s.sum / static_cast<double>(s.count);
+  if (s.count >= 2) {
+    double ss = 0.0;
+    for (double x : xs) {
+      const double d = x - s.mean;
+      ss += d * d;
+    }
+    s.variance = ss / static_cast<double>(s.count - 1);
+  }
+  s.stddev = std::sqrt(s.variance);
+  return s;
+}
+
+double Quantile(std::vector<double> xs, double q) {
+  ICTM_REQUIRE(!xs.empty(), "Quantile of empty sample");
+  ICTM_REQUIRE(q >= 0.0 && q <= 1.0, "quantile out of [0,1]");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs.front();
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double Median(const std::vector<double>& xs) { return Quantile(xs, 0.5); }
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  ICTM_REQUIRE(x.size() == y.size(), "sample size mismatch");
+  ICTM_REQUIRE(!x.empty(), "correlation of empty samples");
+  const double n = static_cast<double>(x.size());
+  const double mx = std::accumulate(x.begin(), x.end(), 0.0) / n;
+  const double my = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> FractionalRanks(const std::vector<double>& xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Average 1-based rank for the tie group [i, j].
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) /
+                           2.0 +
+                       1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  ICTM_REQUIRE(x.size() == y.size(), "sample size mismatch");
+  return PearsonCorrelation(FractionalRanks(x), FractionalRanks(y));
+}
+
+std::vector<CcdfPoint> EmpiricalCcdf(std::vector<double> xs) {
+  ICTM_REQUIRE(!xs.empty(), "CCDF of empty sample");
+  std::sort(xs.begin(), xs.end());
+  const double n = static_cast<double>(xs.size());
+  std::vector<CcdfPoint> out;
+  out.reserve(xs.size());
+  std::size_t i = 0;
+  while (i < xs.size()) {
+    std::size_t j = i;
+    while (j + 1 < xs.size() && xs[j + 1] == xs[i]) ++j;
+    // P(X > x) = fraction of samples strictly greater than xs[i].
+    const double prob = static_cast<double>(xs.size() - 1 - j) / n;
+    out.push_back({xs[i], prob});
+    i = j + 1;
+  }
+  return out;
+}
+
+Histogram MakeHistogram(const std::vector<double>& xs, std::size_t bins) {
+  ICTM_REQUIRE(!xs.empty(), "histogram of empty sample");
+  ICTM_REQUIRE(bins > 0, "histogram needs at least one bin");
+  Histogram h;
+  h.lo = *std::min_element(xs.begin(), xs.end());
+  h.hi = *std::max_element(xs.begin(), xs.end());
+  h.counts.assign(bins, 0);
+  const double width = h.hi - h.lo;
+  for (double x : xs) {
+    std::size_t b = 0;
+    if (width > 0.0) {
+      b = static_cast<std::size_t>((x - h.lo) / width *
+                                   static_cast<double>(bins));
+      if (b >= bins) b = bins - 1;
+    }
+    ++h.counts[b];
+  }
+  return h;
+}
+
+}  // namespace ictm::stats

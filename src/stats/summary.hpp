@@ -1,0 +1,62 @@
+// Descriptive statistics: summaries, quantiles, correlation, CCDF —
+// everything the characterisation experiments (paper Sec. 5) report.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ictm::stats {
+
+/// Basic moments and extremes of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< unbiased (n-1) sample variance; 0 when n < 2
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+/// Computes Summary for a non-empty sample.
+Summary Summarize(const std::vector<double>& xs);
+
+/// Linear-interpolated quantile, q in [0, 1]; sample must be non-empty.
+double Quantile(std::vector<double> xs, double q);
+
+/// Median (Quantile at 0.5).
+double Median(const std::vector<double>& xs);
+
+/// Pearson correlation coefficient; both samples non-empty and equal
+/// length.  Returns 0 when either sample has zero variance.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Spearman rank correlation (Pearson on fractional ranks).
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+/// One point of an empirical complementary CDF.
+struct CcdfPoint {
+  double x;     ///< sample value
+  double prob;  ///< empirical P(X > x)
+};
+
+/// Empirical CCDF evaluated at each distinct sorted sample value,
+/// suitable for log-log plotting (paper Fig. 7).
+std::vector<CcdfPoint> EmpiricalCcdf(std::vector<double> xs);
+
+/// Histogram with `bins` equal-width bins spanning [min, max].
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::size_t> counts;
+};
+Histogram MakeHistogram(const std::vector<double>& xs, std::size_t bins);
+
+/// Fractional ranks (average rank for ties), 1-based.
+std::vector<double> FractionalRanks(const std::vector<double>& xs);
+
+}  // namespace ictm::stats

@@ -1,0 +1,95 @@
+#include "timeseries/cyclo_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ictm::timeseries {
+
+CycloModel FitCyclostationary(const std::vector<double>& series,
+                              std::size_t binsPerWeek) {
+  ICTM_REQUIRE(binsPerWeek > 0, "binsPerWeek must be positive");
+  ICTM_REQUIRE(series.size() >= binsPerWeek,
+               "series must cover at least one full week");
+  for (double v : series) ICTM_REQUIRE(v >= 0.0, "negative activity");
+
+  CycloModel model;
+  model.weeklyTemplate.assign(binsPerWeek, 0.0);
+  std::vector<std::size_t> counts(binsPerWeek, 0);
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    model.weeklyTemplate[t % binsPerWeek] += series[t];
+    ++counts[t % binsPerWeek];
+  }
+  for (std::size_t s = 0; s < binsPerWeek; ++s) {
+    model.weeklyTemplate[s] /= static_cast<double>(counts[s]);
+    ICTM_REQUIRE(model.weeklyTemplate[s] > 0.0,
+                 "weekly template slot has zero mean activity");
+  }
+
+  // Log-residuals against the template.
+  std::vector<double> resid(series.size());
+  double mean = 0.0;
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    const double ratio =
+        std::max(series[t], 1e-12) / model.weeklyTemplate[t % binsPerWeek];
+    resid[t] = std::log(ratio);
+    mean += resid[t];
+  }
+  mean /= static_cast<double>(resid.size());
+
+  double var = 0.0;
+  for (double r : resid) var += (r - mean) * (r - mean);
+  var /= static_cast<double>(resid.size());
+  model.residualSigma = std::sqrt(var);
+
+  if (resid.size() >= 2 && var > 0.0) {
+    double acf1 = 0.0;
+    for (std::size_t t = 0; t + 1 < resid.size(); ++t) {
+      acf1 += (resid[t] - mean) * (resid[t + 1] - mean);
+    }
+    acf1 /= static_cast<double>(resid.size()) * var;
+    // Clamp into the stationary region.
+    model.residualPhi = std::clamp(acf1, 0.0, 0.99);
+  }
+  return model;
+}
+
+std::vector<double> GenerateFromCycloModel(const CycloModel& model,
+                                           std::size_t bins,
+                                           stats::Rng& rng) {
+  ICTM_REQUIRE(!model.weeklyTemplate.empty(), "model has no template");
+  ICTM_REQUIRE(model.residualSigma >= 0.0, "negative residual sigma");
+  const std::size_t binsPerWeek = model.weeklyTemplate.size();
+  std::vector<double> out(bins);
+  const double innovSd =
+      model.residualSigma *
+      std::sqrt(1.0 - model.residualPhi * model.residualPhi);
+  double logNoise = 0.0;
+  for (std::size_t t = 0; t < bins; ++t) {
+    logNoise = model.residualPhi * logNoise + rng.gaussian(0.0, innovSd);
+    out[t] = model.weeklyTemplate[t % binsPerWeek] * std::exp(logNoise);
+  }
+  return out;
+}
+
+double SeasonalR2(const std::vector<double>& series,
+                  const CycloModel& model) {
+  ICTM_REQUIRE(!model.weeklyTemplate.empty(), "model has no template");
+  ICTM_REQUIRE(!series.empty(), "empty series");
+  const std::size_t binsPerWeek = model.weeklyTemplate.size();
+  double mean = 0.0;
+  for (double v : series) mean += v;
+  mean /= static_cast<double>(series.size());
+  double ssTot = 0.0, ssRes = 0.0;
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    const double d = series[t] - mean;
+    const double r = series[t] - model.weeklyTemplate[t % binsPerWeek];
+    ssTot += d * d;
+    ssRes += r * r;
+  }
+  if (ssTot <= 0.0) return 1.0;
+  return 1.0 - ssRes / ssTot;
+}
+
+}  // namespace ictm::timeseries

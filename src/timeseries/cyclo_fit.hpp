@@ -1,0 +1,46 @@
+// Fitting the cyclo-stationary model to observed activity series —
+// the extension paper Sec. 5.4 leaves as future work ("the
+// cyclo-stationary model may be suitable for describing the timeseries
+// of A_i(t)").
+//
+// The estimator is the classical seasonal decomposition: the weekly
+// template is the per-bin-of-week mean across weeks, and the residual
+// is modelled as AR(1) multiplicative log-noise, giving a generator
+// whose synthetic weeks are statistically exchangeable with the fitted
+// data.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace ictm::timeseries {
+
+/// A fitted cyclo-stationary model of one activity series.
+struct CycloModel {
+  /// Weekly template: mean value per bin-of-week (length binsPerWeek).
+  std::vector<double> weeklyTemplate;
+  /// Log-space residual standard deviation.
+  double residualSigma = 0.0;
+  /// AR(1) coefficient of the log residuals.
+  double residualPhi = 0.0;
+};
+
+/// Fits the cyclo-stationary model.  `series` must cover at least one
+/// full week (length >= binsPerWeek) and be strictly positive on at
+/// least one sample of every bin-of-week slot.
+CycloModel FitCyclostationary(const std::vector<double>& series,
+                              std::size_t binsPerWeek);
+
+/// Generates `bins` samples from a fitted model.
+std::vector<double> GenerateFromCycloModel(const CycloModel& model,
+                                           std::size_t bins,
+                                           stats::Rng& rng);
+
+/// Fraction of the series' variance explained by the weekly template
+/// (R^2 of the seasonal decomposition); 1 = perfectly periodic.
+double SeasonalR2(const std::vector<double>& series,
+                  const CycloModel& model);
+
+}  // namespace ictm::timeseries

@@ -1,0 +1,71 @@
+#include "timeseries/cyclostationary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ictm::timeseries {
+
+std::vector<double> GenerateActivitySeries(const ActivityModel& model,
+                                           std::size_t bins,
+                                           stats::Rng& rng) {
+  ICTM_REQUIRE(model.peakLevel > 0.0, "peakLevel must be positive");
+  ICTM_REQUIRE(model.noiseSigma >= 0.0, "noiseSigma must be >= 0");
+  ICTM_REQUIRE(model.noisePhi >= 0.0 && model.noisePhi < 1.0,
+               "noisePhi must lie in [0,1)");
+  ICTM_REQUIRE(model.weeklyDriftSigma >= 0.0,
+               "weeklyDriftSigma must be >= 0");
+
+  DiurnalProfile profile = model.profile;
+  if (model.phaseJitterHours != 0.0) {
+    profile.peakHour +=
+        rng.uniform(-model.phaseJitterHours, model.phaseJitterHours);
+  }
+
+  const std::size_t binsPerWeek = profile.binsPerDay * 7;
+  std::vector<double> out(bins);
+  double logNoise = 0.0;
+  double weekDrift = 0.0;
+  // Stationary AR(1) innovation sd so the marginal sd equals noiseSigma.
+  const double innovSd =
+      model.noiseSigma * std::sqrt(1.0 - model.noisePhi * model.noisePhi);
+
+  for (std::size_t t = 0; t < bins; ++t) {
+    if (binsPerWeek > 0 && t % binsPerWeek == 0 && t > 0) {
+      weekDrift += rng.gaussian(0.0, model.weeklyDriftSigma);
+    }
+    logNoise = model.noisePhi * logNoise + rng.gaussian(0.0, innovSd);
+    const double base = ProfileValue(profile, t) * model.peakLevel;
+    out[t] = base * std::exp(logNoise + weekDrift);
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> GenerateActivityEnsemble(
+    std::size_t n, std::size_t bins, const ActivityModel& base,
+    double peakLogSigma, stats::Rng& rng) {
+  ICTM_REQUIRE(n > 0, "ensemble must contain at least one node");
+  ICTM_REQUIRE(peakLogSigma >= 0.0, "peakLogSigma must be >= 0");
+  std::vector<std::vector<double>> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ActivityModel m = base;
+    m.peakLevel = base.peakLevel *
+                  std::exp(rng.gaussian(0.0, peakLogSigma));
+    // Heterogeneous node shapes: different user populations produce
+    // different overnight floors, weekend depths and peak times.
+    m.profile.nightFloor = std::clamp(
+        base.profile.nightFloor * std::exp(rng.gaussian(0.0, 0.45)),
+        0.05, 0.85);
+    m.profile.weekendFactor = std::clamp(
+        base.profile.weekendFactor * std::exp(rng.gaussian(0.0, 0.3)),
+        0.2, 1.0);
+    m.profile.secondHarmonic =
+        std::clamp(base.profile.secondHarmonic +
+                       rng.gaussian(0.0, 0.08), 0.0, 0.5);
+    stats::Rng child = rng.fork();
+    out.push_back(GenerateActivitySeries(m, bins, child));
+  }
+  return out;
+}
+
+}  // namespace ictm::timeseries

@@ -1,0 +1,46 @@
+// Cyclo-stationary activity generator: a stochastic wrapper around the
+// deterministic diurnal profile that produces per-node activity series
+// A_i(t) with multiplicative noise and slow week-to-week drift.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.hpp"
+#include "timeseries/diurnal.hpp"
+
+namespace ictm::timeseries {
+
+/// Parameters of the stochastic activity model for one node.
+struct ActivityModel {
+  DiurnalProfile profile;
+  /// Long-run mean activity level in bytes per bin at the daily peak.
+  double peakLevel = 1e7;
+  /// Multiplicative lognormal noise sigma (log-space); 0 disables.
+  double noiseSigma = 0.08;
+  /// AR(1) coefficient of the log-noise (temporal smoothness).
+  double noisePhi = 0.6;
+  /// Per-week multiplicative drift sigma (log-space); models slow
+  /// changes in user population between weeks.
+  double weeklyDriftSigma = 0.05;
+  /// Per-node phase jitter in hours applied to the profile peak.
+  double phaseJitterHours = 0.0;
+};
+
+/// Generates `bins` samples of A(t) >= 0 for one node.
+/// The same seed yields the same series.
+std::vector<double> GenerateActivitySeries(const ActivityModel& model,
+                                           std::size_t bins,
+                                           stats::Rng& rng);
+
+/// Generates an ensemble of n activity series with peak levels drawn
+/// from a lognormal across nodes (heavy-tailed node sizes, matching
+/// the spread seen in Fig. 9: largest ~ 20x smallest).  Per-node
+/// profile shapes (night floor, weekend depth, peak hour) are jittered
+/// so nodes are heterogeneous, as real PoPs serving different user
+/// populations and time zones are.  Returns n series of length `bins`.
+std::vector<std::vector<double>> GenerateActivityEnsemble(
+    std::size_t n, std::size_t bins, const ActivityModel& base,
+    double peakLogSigma, stats::Rng& rng);
+
+}  // namespace ictm::timeseries

@@ -1,0 +1,104 @@
+#include "timeseries/diurnal.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ictm::timeseries {
+
+double ProfileValue(const DiurnalProfile& profile, std::size_t t) {
+  ICTM_REQUIRE(profile.binsPerDay > 0, "binsPerDay must be positive");
+  ICTM_REQUIRE(profile.nightFloor > 0.0 && profile.nightFloor <= 1.0,
+               "nightFloor out of (0,1]");
+  ICTM_REQUIRE(profile.weekendFactor > 0.0 && profile.weekendFactor <= 1.0,
+               "weekendFactor out of (0,1]");
+
+  const double day = static_cast<double>(t) /
+                     static_cast<double>(profile.binsPerDay);
+  const std::size_t dayIndex =
+      (t / profile.binsPerDay) % 7;  // 0 = Monday
+  const double hourOfDay =
+      (day - std::floor(day)) * 24.0;
+
+  // Primary 24h harmonic peaking at peakHour, plus a 12h harmonic.
+  const double phase =
+      2.0 * std::numbers::pi * (hourOfDay - profile.peakHour) / 24.0;
+  double wave = std::cos(phase) + profile.secondHarmonic *
+                                      std::cos(2.0 * phase);
+  // Normalise the wave from [-1-h, 1+h] into [nightFloor, 1].
+  const double lo = -(1.0 + profile.secondHarmonic);
+  const double hi = 1.0 + profile.secondHarmonic;
+  const double unit = (wave - lo) / (hi - lo);  // [0,1]
+  double value = profile.nightFloor + (1.0 - profile.nightFloor) * unit;
+
+  if (dayIndex >= 5) value *= profile.weekendFactor;  // Sat/Sun
+  return value;
+}
+
+std::vector<double> GenerateProfile(const DiurnalProfile& profile,
+                                    std::size_t bins) {
+  std::vector<double> out(bins);
+  for (std::size_t t = 0; t < bins; ++t) out[t] = ProfileValue(profile, t);
+  return out;
+}
+
+double Autocorrelation(const std::vector<double>& xs, std::size_t lag) {
+  ICTM_REQUIRE(xs.size() > lag, "lag exceeds series length");
+  const double n = static_cast<double>(xs.size());
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= n;
+  double denom = 0.0;
+  for (double x : xs) {
+    const double d = x - mean;
+    denom += d * d;
+  }
+  if (denom <= 0.0) return lag == 0 ? 1.0 : 0.0;
+  double num = 0.0;
+  for (std::size_t t = 0; t + lag < xs.size(); ++t) {
+    num += (xs[t] - mean) * (xs[t + lag] - mean);
+  }
+  return num / denom;
+}
+
+std::size_t DominantPeriod(const std::vector<double>& xs,
+                           std::size_t minLag, std::size_t maxLag) {
+  ICTM_REQUIRE(minLag >= 1 && minLag <= maxLag, "invalid lag range");
+  ICTM_REQUIRE(xs.size() > maxLag, "series shorter than maxLag");
+  std::size_t bestLag = minLag;
+  double bestAc = -2.0;
+  for (std::size_t lag = minLag; lag <= maxLag; ++lag) {
+    const double ac = Autocorrelation(xs, lag);
+    if (ac > bestAc) {
+      bestAc = ac;
+      bestLag = lag;
+    }
+  }
+  return bestLag;
+}
+
+double WeekendWeekdayRatio(const std::vector<double>& xs,
+                           std::size_t binsPerDay) {
+  ICTM_REQUIRE(binsPerDay > 0, "binsPerDay must be positive");
+  double weekendSum = 0.0, weekdaySum = 0.0;
+  std::size_t weekendCount = 0, weekdayCount = 0;
+  for (std::size_t t = 0; t < xs.size(); ++t) {
+    const std::size_t dayIndex = (t / binsPerDay) % 7;
+    if (dayIndex >= 5) {
+      weekendSum += xs[t];
+      ++weekendCount;
+    } else {
+      weekdaySum += xs[t];
+      ++weekdayCount;
+    }
+  }
+  ICTM_REQUIRE(weekendCount > 0 && weekdayCount > 0,
+               "series does not cover both weekend and weekday bins");
+  const double weekendMean =
+      weekendSum / static_cast<double>(weekendCount);
+  const double weekdayMean =
+      weekdaySum / static_cast<double>(weekdayCount);
+  ICTM_REQUIRE(weekdayMean > 0.0, "weekday mean is zero");
+  return weekendMean / weekdayMean;
+}
+
+}  // namespace ictm::timeseries

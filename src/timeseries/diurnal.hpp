@@ -1,0 +1,57 @@
+// Diurnal / weekly activity profiles.
+//
+// Paper Sec. 5.4 observes that activity levels A_i(t) show "strong
+// periodic patterns ... corresponding to daily variation as well as to
+// reduced activity on the weekend", and Sec. 5.5 recommends a
+// cyclo-stationary generator (superposition of periodic waveforms, per
+// Soule et al.) for synthesising them.  This module provides both the
+// deterministic profile and analysis helpers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ictm::timeseries {
+
+/// Parameters of a smooth day/week activity profile.
+struct DiurnalProfile {
+  /// Number of time bins per day (e.g. 288 for 5-minute bins).
+  std::size_t binsPerDay = 288;
+  /// Relative depth of the overnight trough in (0, 1]; 0.25 means the
+  /// nightly minimum is 25% of the daily peak.
+  double nightFloor = 0.25;
+  /// Hour of day (0-24) at which activity peaks.
+  double peakHour = 15.0;
+  /// Weekend attenuation factor in (0, 1]; 0.5 halves weekend traffic.
+  double weekendFactor = 0.55;
+  /// Relative amplitude of the secondary (12-hour) harmonic.
+  double secondHarmonic = 0.15;
+};
+
+/// Evaluates the deterministic profile at absolute bin index t
+/// (bin 0 = Monday 00:00).  Result is a positive multiplier with
+/// daily mean near 1 on weekdays.
+double ProfileValue(const DiurnalProfile& profile, std::size_t t);
+
+/// Generates `bins` samples of the deterministic profile.
+std::vector<double> GenerateProfile(const DiurnalProfile& profile,
+                                    std::size_t bins);
+
+/// Sample autocorrelation at the given lag (biased estimator,
+/// normalised so lag 0 == 1).  Used to verify the daily period in
+/// generated and fitted activity series.
+double Autocorrelation(const std::vector<double>& xs, std::size_t lag);
+
+/// Returns the lag in [minLag, maxLag] with the highest autocorrelation
+/// — a simple dominant-period detector.
+std::size_t DominantPeriod(const std::vector<double>& xs,
+                           std::size_t minLag, std::size_t maxLag);
+
+/// Mean of the series restricted to weekend bins (Saturday+Sunday),
+/// divided by the mean over weekday bins; < 1 indicates weekend dip.
+double WeekendWeekdayRatio(const std::vector<double>& xs,
+                           std::size_t binsPerDay);
+
+}  // namespace ictm::timeseries

@@ -1,0 +1,84 @@
+// Network topology: PoP-level graph with directed links and IGP weights.
+//
+// The TM-estimation experiments (paper Sec. 6) need a routing matrix R
+// relating OD flows to link loads (Y = Rx); this module supplies the
+// graph, shortest-path routing, and canned PoP-level topologies shaped
+// like the networks in the paper's datasets.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ictm::topology {
+
+/// Identifier types (indices into the graph's node/link tables).
+using NodeId = std::size_t;
+using LinkId = std::size_t;
+
+/// A directed link with an IGP weight and capacity.
+struct Link {
+  NodeId src = 0;
+  NodeId dst = 0;
+  double igpWeight = 1.0;
+  double capacityBps = 10e9;
+};
+
+/// A PoP-level network graph.  Nodes are numbered 0..n-1 and carry
+/// human-readable names; links are directed (bidirectional physical
+/// links are added as two directed links).
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Adds a node; returns its id.
+  NodeId addNode(std::string name);
+
+  /// Adds a directed link; endpoints must exist and weight must be > 0.
+  LinkId addLink(NodeId src, NodeId dst, double igpWeight = 1.0,
+                 double capacityBps = 10e9);
+
+  /// Adds a pair of directed links (src->dst and dst->src) with the same
+  /// weight/capacity; returns the id of the forward link (the reverse is
+  /// the next id).
+  LinkId addBidirectionalLink(NodeId a, NodeId b, double igpWeight = 1.0,
+                              double capacityBps = 10e9);
+
+  std::size_t nodeCount() const noexcept { return names_.size(); }
+  std::size_t linkCount() const noexcept { return links_.size(); }
+
+  const std::string& nodeName(NodeId id) const;
+  /// Node id by exact name; throws when absent.
+  NodeId nodeByName(const std::string& name) const;
+
+  const Link& link(LinkId id) const;
+  const std::vector<Link>& links() const noexcept { return links_; }
+
+  /// Outgoing link ids of a node.
+  const std::vector<LinkId>& outLinks(NodeId id) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> adjacency_;
+};
+
+/// Result of a single-source shortest-path computation.
+struct ShortestPaths {
+  /// dist[v]: shortest IGP distance from the source (infinity when
+  /// unreachable).
+  std::vector<double> dist;
+  /// For each node, all incoming links on *some* shortest path
+  /// (multiple entries when equal-cost paths exist).
+  std::vector<std::vector<LinkId>> predecessors;
+};
+
+/// Dijkstra over IGP weights from `source`.
+ShortestPaths ComputeShortestPaths(const Graph& g, NodeId source);
+
+/// True when every node can reach every other node.
+bool IsStronglyConnected(const Graph& g);
+
+}  // namespace ictm::topology

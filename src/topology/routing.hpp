@@ -1,0 +1,39 @@
+// Routing matrix construction (Y = R x, paper Sec. 6).
+//
+// R has one row per directed link and one column per OD pair (column
+// index i*n + j).  Entry R[l, (i,j)] is the fraction of OD flow (i,j)
+// carried on link l — 1 on single shortest paths, fractional under
+// equal-cost multipath splitting.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "topology/graph.hpp"
+
+namespace ictm::topology {
+
+/// Options controlling routing-matrix construction.
+struct RoutingOptions {
+  /// Split traffic evenly across equal-cost shortest paths (per-link
+  /// ECMP splitting, as deployed IGPs do).  When false, the
+  /// lowest-link-id shortest path carries everything.
+  bool ecmp = true;
+};
+
+/// Builds the (#links x n^2) routing matrix for the graph.
+/// OD pair (i,j) maps to column i*n + j; diagonal OD pairs (i == i)
+/// stay inside the PoP and use no backbone link (all-zero column).
+linalg::Matrix BuildRoutingMatrix(const Graph& g,
+                                  const RoutingOptions& options = {});
+
+/// Computes per-link loads Y = R x for a TM given as an n x n matrix.
+linalg::Vector ComputeLinkLoads(const linalg::Matrix& routing,
+                                const linalg::Matrix& tm);
+
+/// Flattens an n x n TM into the x vector ordering used by
+/// BuildRoutingMatrix (row-major, x[i*n+j] = X_ij).
+linalg::Vector FlattenTm(const linalg::Matrix& tm);
+
+/// Inverse of FlattenTm.
+linalg::Matrix UnflattenTm(const linalg::Vector& x, std::size_t n);
+
+}  // namespace ictm::topology

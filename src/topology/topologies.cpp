@@ -1,0 +1,170 @@
+#include "topology/topologies.hpp"
+
+#include <array>
+
+namespace ictm::topology {
+
+namespace {
+
+// Adds a bidirectional link between nodes named a and b.
+void Bi(Graph& g, const char* a, const char* b, double w = 1.0) {
+  g.addBidirectionalLink(g.nodeByName(a), g.nodeByName(b), w);
+}
+
+}  // namespace
+
+Graph MakeGeant22() {
+  Graph g;
+  // 22 PoPs, matching the Géant PoP list of 2004 (dataset D1).
+  const std::array<const char*, 22> pops = {
+      "at", "be", "ch", "cz", "de", "es", "fr", "gr", "hr", "hu", "ie",
+      "il", "it", "lu", "nl", "pl", "pt", "se", "si", "sk", "uk", "ny"};
+  for (const char* p : pops) g.addNode(p);
+
+  // Core mesh between the four largest PoPs.
+  Bi(g, "de", "fr", 1.0);
+  Bi(g, "de", "nl", 1.0);
+  Bi(g, "de", "it", 1.2);
+  Bi(g, "de", "at", 1.0);
+  Bi(g, "de", "ch", 1.0);
+  Bi(g, "de", "se", 1.5);
+  Bi(g, "fr", "uk", 1.0);
+  Bi(g, "fr", "ch", 1.0);
+  Bi(g, "fr", "es", 1.2);
+  Bi(g, "fr", "be", 1.0);
+  Bi(g, "uk", "nl", 1.0);
+  Bi(g, "uk", "se", 1.4);
+  Bi(g, "uk", "ny", 2.5);  // transatlantic
+  Bi(g, "de", "ny", 2.6);  // transatlantic
+  Bi(g, "nl", "be", 1.0);
+  Bi(g, "nl", "lu", 1.1);
+  Bi(g, "be", "lu", 1.0);
+  Bi(g, "it", "ch", 1.0);
+  Bi(g, "it", "gr", 1.8);
+  Bi(g, "it", "es", 1.6);
+  Bi(g, "it", "il", 2.2);
+  Bi(g, "at", "hu", 1.0);
+  Bi(g, "at", "si", 1.0);
+  Bi(g, "at", "cz", 1.0);
+  Bi(g, "at", "hr", 1.1);
+  Bi(g, "at", "gr", 1.9);
+  Bi(g, "cz", "sk", 1.0);
+  Bi(g, "cz", "pl", 1.0);
+  Bi(g, "hu", "sk", 1.0);
+  Bi(g, "hu", "hr", 1.0);
+  Bi(g, "pl", "de", 1.2);
+  Bi(g, "se", "pl", 1.6);
+  Bi(g, "es", "pt", 1.0);
+  Bi(g, "pt", "uk", 1.8);
+  Bi(g, "ie", "uk", 1.0);
+  Bi(g, "ie", "ny", 2.8);
+  Bi(g, "il", "ny", 3.0);
+  Bi(g, "si", "hr", 1.0);
+
+  ICTM_REQUIRE(IsStronglyConnected(g), "Geant22 must be connected");
+  return g;
+}
+
+Graph MakeTotem23() {
+  Graph g;
+  // Same as Geant22, with 'de' split into 'de1' and 'de2' (the change
+  // the paper notes between datasets D1 and D2).
+  const std::array<const char*, 23> pops = {
+      "at", "be", "ch", "cz", "de1", "de2", "es", "fr", "gr", "hr", "hu",
+      "ie", "il", "it", "lu",  "nl",  "pl", "pt", "se", "si", "sk", "uk",
+      "ny"};
+  for (const char* p : pops) g.addNode(p);
+
+  Bi(g, "de1", "de2", 0.5);  // intra-Germany split
+  Bi(g, "de1", "fr", 1.0);
+  Bi(g, "de1", "nl", 1.0);
+  Bi(g, "de2", "it", 1.2);
+  Bi(g, "de2", "at", 1.0);
+  Bi(g, "de1", "ch", 1.0);
+  Bi(g, "de2", "se", 1.5);
+  Bi(g, "fr", "uk", 1.0);
+  Bi(g, "fr", "ch", 1.0);
+  Bi(g, "fr", "es", 1.2);
+  Bi(g, "fr", "be", 1.0);
+  Bi(g, "uk", "nl", 1.0);
+  Bi(g, "uk", "se", 1.4);
+  Bi(g, "uk", "ny", 2.5);
+  Bi(g, "de1", "ny", 2.6);
+  Bi(g, "nl", "be", 1.0);
+  Bi(g, "nl", "lu", 1.1);
+  Bi(g, "be", "lu", 1.0);
+  Bi(g, "it", "ch", 1.0);
+  Bi(g, "it", "gr", 1.8);
+  Bi(g, "it", "es", 1.6);
+  Bi(g, "it", "il", 2.2);
+  Bi(g, "at", "hu", 1.0);
+  Bi(g, "at", "si", 1.0);
+  Bi(g, "at", "cz", 1.0);
+  Bi(g, "at", "hr", 1.1);
+  Bi(g, "at", "gr", 1.9);
+  Bi(g, "cz", "sk", 1.0);
+  Bi(g, "cz", "pl", 1.0);
+  Bi(g, "hu", "sk", 1.0);
+  Bi(g, "hu", "hr", 1.0);
+  Bi(g, "pl", "de2", 1.2);
+  Bi(g, "se", "pl", 1.6);
+  Bi(g, "es", "pt", 1.0);
+  Bi(g, "pt", "uk", 1.8);
+  Bi(g, "ie", "uk", 1.0);
+  Bi(g, "ie", "ny", 2.8);
+  Bi(g, "il", "ny", 3.0);
+  Bi(g, "si", "hr", 1.0);
+
+  ICTM_REQUIRE(IsStronglyConnected(g), "Totem23 must be connected");
+  return g;
+}
+
+Graph MakeAbilene11() {
+  Graph g;
+  // The 11 Abilene PoPs circa 2004.
+  const std::array<const char*, 11> pops = {
+      "STTL", "SNVA", "LOSA", "DNVR", "KSCY", "HSTN",
+      "IPLS", "CHIN", "ATLA", "WASH", "NYCM"};
+  for (const char* p : pops) g.addNode(p);
+
+  // Published Abilene backbone links.
+  Bi(g, "STTL", "SNVA", 1.0);
+  Bi(g, "STTL", "DNVR", 1.0);
+  Bi(g, "SNVA", "LOSA", 1.0);
+  Bi(g, "SNVA", "DNVR", 1.1);
+  Bi(g, "LOSA", "HSTN", 1.4);
+  Bi(g, "DNVR", "KSCY", 1.0);
+  Bi(g, "KSCY", "HSTN", 1.0);
+  Bi(g, "KSCY", "IPLS", 1.0);
+  Bi(g, "HSTN", "ATLA", 1.2);
+  Bi(g, "IPLS", "CHIN", 1.0);
+  Bi(g, "IPLS", "ATLA", 1.3);
+  Bi(g, "CHIN", "NYCM", 1.0);
+  Bi(g, "ATLA", "WASH", 1.0);
+  Bi(g, "WASH", "NYCM", 1.0);
+  ICTM_REQUIRE(IsStronglyConnected(g), "Abilene11 must be connected");
+  return g;
+}
+
+Graph MakeRing(std::size_t n, std::size_t chordStep) {
+  ICTM_REQUIRE(n >= 3, "ring needs at least 3 nodes");
+  Graph g;
+  for (std::size_t i = 0; i < n; ++i) {
+    g.addNode("r" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    g.addBidirectionalLink(i, (i + 1) % n, 1.0);
+  }
+  if (chordStep >= 2) {
+    for (std::size_t i = 0; i < n; i += chordStep) {
+      const std::size_t j = (i + n / 2) % n;
+      if (j != i && j != (i + 1) % n && i != (j + 1) % n) {
+        g.addBidirectionalLink(i, j, 1.0);
+      }
+    }
+  }
+  ICTM_REQUIRE(IsStronglyConnected(g), "ring must be connected");
+  return g;
+}
+
+}  // namespace ictm::topology

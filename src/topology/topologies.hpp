@@ -1,0 +1,33 @@
+// Canned PoP-level topologies shaped like the networks behind the
+// paper's datasets:
+//   - Geant22: 22 PoPs in European capitals (dataset D1),
+//   - Totem23: the same network with PoP 'de' split into de1/de2
+//     (dataset D2),
+//   - Abilene11: the 11-PoP US research backbone (dataset D3).
+//
+// Link sets follow the published maps of the era at PoP granularity;
+// exact IGP weights were never public, so uniform-ish weights with a
+// few asymmetries are used.  Only connectivity shape matters for the
+// reproduction (the routing matrix rank and the estimation problem's
+// under-determinedness), not the precise weight values.
+#pragma once
+
+#include "topology/graph.hpp"
+
+namespace ictm::topology {
+
+/// 22-node Géant-like European research backbone.
+Graph MakeGeant22();
+
+/// 23-node Totem variant: Géant with 'de' split into 'de1' and 'de2'.
+Graph MakeTotem23();
+
+/// 11-node Abilene-like US research backbone (includes IPLS, CLEV,
+/// KSCY — the nodes instrumented in dataset D3).
+Graph MakeAbilene11();
+
+/// Synthetic ring-with-chords topology for property tests: n nodes in a
+/// ring plus chords every `chordStep` nodes (chordStep 0 = plain ring).
+Graph MakeRing(std::size_t n, std::size_t chordStep = 0);
+
+}  // namespace ictm::topology

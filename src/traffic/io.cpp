@@ -1,0 +1,78 @@
+#include "traffic/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace ictm::traffic {
+
+void WriteCsv(std::ostream& os, const TrafficMatrixSeries& series) {
+  const std::size_t n = series.nodeCount();
+  os << "# ictm-tm nodes=" << n << " bins=" << series.binCount()
+     << " binSeconds=" << series.binSeconds() << "\n";
+  os << std::setprecision(17);
+  for (std::size_t t = 0; t < series.binCount(); ++t) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i != 0 || j != 0) os << ',';
+        os << series(t, i, j);
+      }
+    }
+    os << '\n';
+  }
+  ICTM_REQUIRE(os.good(), "stream failure while writing TM CSV");
+}
+
+void WriteCsvFile(const std::string& path,
+                  const TrafficMatrixSeries& series) {
+  std::ofstream out(path);
+  ICTM_REQUIRE(out.is_open(), "cannot open file for writing: " + path);
+  WriteCsv(out, series);
+}
+
+TrafficMatrixSeries ReadCsv(std::istream& is) {
+  std::string header;
+  ICTM_REQUIRE(static_cast<bool>(std::getline(is, header)),
+               "missing TM CSV header");
+  std::size_t nodes = 0, bins = 0;
+  double binSeconds = 0.0;
+  {
+    std::istringstream hs(header);
+    std::string token;
+    while (hs >> token) {
+      if (token.rfind("nodes=", 0) == 0) {
+        nodes = static_cast<std::size_t>(std::stoul(token.substr(6)));
+      } else if (token.rfind("bins=", 0) == 0) {
+        bins = static_cast<std::size_t>(std::stoul(token.substr(5)));
+      } else if (token.rfind("binSeconds=", 0) == 0) {
+        binSeconds = std::stod(token.substr(11));
+      }
+    }
+  }
+  ICTM_REQUIRE(nodes > 0 && bins > 0 && binSeconds > 0.0,
+               "malformed TM CSV header: " + header);
+
+  TrafficMatrixSeries series(nodes, bins, binSeconds);
+  std::string line;
+  for (std::size_t t = 0; t < bins; ++t) {
+    ICTM_REQUIRE(static_cast<bool>(std::getline(is, line)),
+                 "TM CSV truncated at bin " + std::to_string(t));
+    std::istringstream ls(line);
+    std::string cell;
+    for (std::size_t k = 0; k < nodes * nodes; ++k) {
+      ICTM_REQUIRE(static_cast<bool>(std::getline(ls, cell, ',')),
+                   "TM CSV row too short at bin " + std::to_string(t));
+      series(t, k / nodes, k % nodes) = std::stod(cell);
+    }
+  }
+  ICTM_REQUIRE(series.isValid(), "TM CSV contains invalid values");
+  return series;
+}
+
+TrafficMatrixSeries ReadCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  ICTM_REQUIRE(in.is_open(), "cannot open file for reading: " + path);
+  return ReadCsv(in);
+}
+
+}  // namespace ictm::traffic

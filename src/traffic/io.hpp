@@ -1,0 +1,28 @@
+// CSV serialisation of traffic-matrix series.
+//
+// Format: a header line "# ictm-tm nodes=<n> bins=<T> binSeconds=<s>",
+// then one line per bin with n*n comma-separated values in row-major
+// (i*n+j) order.  Round-trips exactly at full double precision.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "traffic/tm_series.hpp"
+
+namespace ictm::traffic {
+
+/// Writes the series to a stream.
+void WriteCsv(std::ostream& os, const TrafficMatrixSeries& series);
+
+/// Writes the series to a file; throws on IO failure.
+void WriteCsvFile(const std::string& path,
+                  const TrafficMatrixSeries& series);
+
+/// Parses a series from a stream; throws on malformed input.
+TrafficMatrixSeries ReadCsv(std::istream& is);
+
+/// Reads a series from a file; throws on IO failure or malformed input.
+TrafficMatrixSeries ReadCsvFile(const std::string& path);
+
+}  // namespace ictm::traffic

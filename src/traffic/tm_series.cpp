@@ -1,0 +1,164 @@
+#include "traffic/tm_series.hpp"
+
+#include <cmath>
+
+namespace ictm::traffic {
+
+TrafficMatrixSeries::TrafficMatrixSeries(std::size_t nodes, std::size_t bins,
+                                         double binSeconds)
+    : nodes_(nodes),
+      bins_(bins),
+      binSeconds_(binSeconds),
+      data_(nodes * nodes * bins, 0.0) {
+  ICTM_REQUIRE(nodes > 0, "series needs at least one node");
+  ICTM_REQUIRE(bins > 0, "series needs at least one bin");
+  ICTM_REQUIRE(binSeconds > 0.0, "bin duration must be positive");
+}
+
+double& TrafficMatrixSeries::at(std::size_t t, std::size_t i,
+                                std::size_t j) {
+  ICTM_REQUIRE(t < bins_ && i < nodes_ && j < nodes_,
+               "TM series index out of range");
+  return (*this)(t, i, j);
+}
+
+double TrafficMatrixSeries::at(std::size_t t, std::size_t i,
+                               std::size_t j) const {
+  ICTM_REQUIRE(t < bins_ && i < nodes_ && j < nodes_,
+               "TM series index out of range");
+  return (*this)(t, i, j);
+}
+
+linalg::Matrix TrafficMatrixSeries::bin(std::size_t t) const {
+  ICTM_REQUIRE(t < bins_, "bin index out of range");
+  linalg::Matrix m(nodes_, nodes_);
+  for (std::size_t i = 0; i < nodes_; ++i)
+    for (std::size_t j = 0; j < nodes_; ++j) m(i, j) = (*this)(t, i, j);
+  return m;
+}
+
+void TrafficMatrixSeries::setBin(std::size_t t, const linalg::Matrix& m) {
+  ICTM_REQUIRE(t < bins_, "bin index out of range");
+  ICTM_REQUIRE(m.rows() == nodes_ && m.cols() == nodes_,
+               "bin matrix shape mismatch");
+  for (std::size_t i = 0; i < nodes_; ++i) {
+    for (std::size_t j = 0; j < nodes_; ++j) {
+      ICTM_REQUIRE(m(i, j) >= 0.0, "negative traffic volume");
+      (*this)(t, i, j) = m(i, j);
+    }
+  }
+}
+
+linalg::Vector TrafficMatrixSeries::ingress(std::size_t t) const {
+  ICTM_REQUIRE(t < bins_, "bin index out of range");
+  linalg::Vector v(nodes_, 0.0);
+  for (std::size_t i = 0; i < nodes_; ++i)
+    for (std::size_t j = 0; j < nodes_; ++j) v[i] += (*this)(t, i, j);
+  return v;
+}
+
+linalg::Vector TrafficMatrixSeries::egress(std::size_t t) const {
+  ICTM_REQUIRE(t < bins_, "bin index out of range");
+  linalg::Vector v(nodes_, 0.0);
+  for (std::size_t i = 0; i < nodes_; ++i)
+    for (std::size_t j = 0; j < nodes_; ++j) v[j] += (*this)(t, i, j);
+  return v;
+}
+
+double TrafficMatrixSeries::total(std::size_t t) const {
+  ICTM_REQUIRE(t < bins_, "bin index out of range");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < nodes_; ++i)
+    for (std::size_t j = 0; j < nodes_; ++j) acc += (*this)(t, i, j);
+  return acc;
+}
+
+linalg::Vector TrafficMatrixSeries::meanNormalizedEgress() const {
+  linalg::Vector acc(nodes_, 0.0);
+  std::size_t used = 0;
+  for (std::size_t t = 0; t < bins_; ++t) {
+    const double tot = total(t);
+    if (tot <= 0.0) continue;
+    const linalg::Vector eg = egress(t);
+    for (std::size_t j = 0; j < nodes_; ++j) acc[j] += eg[j] / tot;
+    ++used;
+  }
+  ICTM_REQUIRE(used > 0, "series has no non-empty bins");
+  for (double& x : acc) x /= static_cast<double>(used);
+  return acc;
+}
+
+linalg::Vector TrafficMatrixSeries::odSeries(std::size_t i,
+                                             std::size_t j) const {
+  ICTM_REQUIRE(i < nodes_ && j < nodes_, "node index out of range");
+  linalg::Vector v(bins_);
+  for (std::size_t t = 0; t < bins_; ++t) v[t] = (*this)(t, i, j);
+  return v;
+}
+
+double TrafficMatrixSeries::grandTotal() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x;
+  return acc;
+}
+
+TrafficMatrixSeries TrafficMatrixSeries::slice(std::size_t first,
+                                               std::size_t count) const {
+  ICTM_REQUIRE(first + count <= bins_ && count > 0,
+               "slice out of range");
+  TrafficMatrixSeries out(nodes_, count, binSeconds_);
+  for (std::size_t t = 0; t < count; ++t)
+    for (std::size_t i = 0; i < nodes_; ++i)
+      for (std::size_t j = 0; j < nodes_; ++j)
+        out(t, i, j) = (*this)(first + t, i, j);
+  return out;
+}
+
+TrafficMatrixSeries TrafficMatrixSeries::downsample(
+    std::size_t stride) const {
+  ICTM_REQUIRE(stride >= 1, "stride must be >= 1");
+  const std::size_t count = (bins_ + stride - 1) / stride;
+  TrafficMatrixSeries out(nodes_, count, binSeconds_ * double(stride));
+  for (std::size_t t = 0; t < count; ++t)
+    for (std::size_t i = 0; i < nodes_; ++i)
+      for (std::size_t j = 0; j < nodes_; ++j)
+        out(t, i, j) = (*this)(t * stride, i, j);
+  return out;
+}
+
+bool TrafficMatrixSeries::isValid() const {
+  for (double x : data_) {
+    if (!(x >= 0.0) || !std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+linalg::Matrix BuildIngressOperator(std::size_t n) {
+  ICTM_REQUIRE(n > 0, "operator of zero nodes");
+  linalg::Matrix h(n, n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) h(i, i * n + j) = 1.0;
+  return h;
+}
+
+linalg::Matrix BuildEgressOperator(std::size_t n) {
+  ICTM_REQUIRE(n > 0, "operator of zero nodes");
+  linalg::Matrix g(n, n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) g(j, i * n + j) = 1.0;
+  return g;
+}
+
+linalg::Matrix BuildMarginalOperator(std::size_t n) {
+  const linalg::Matrix h = BuildIngressOperator(n);
+  const linalg::Matrix g = BuildEgressOperator(n);
+  linalg::Matrix q(2 * n, n * n, 0.0);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n * n; ++c) {
+      q(r, c) = h(r, c);
+      q(n + r, c) = g(r, c);
+    }
+  return q;
+}
+
+}  // namespace ictm::traffic

@@ -1,0 +1,178 @@
+// Tests for the simulated dataset builders (the D1/D2 substitutes) and
+// the Sec. 5.5 synthetic TM generator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/synthesis.hpp"
+#include "dataset/datasets.hpp"
+#include "timeseries/diurnal.hpp"
+#include "test_util.hpp"
+
+namespace ictm::dataset {
+namespace {
+
+DatasetConfig FastConfig(std::uint64_t seed = 1) {
+  DatasetConfig cfg;
+  cfg.seed = seed;
+  cfg.peakActivityBytes = 1e8;  // keep tests quick
+  return cfg;
+}
+
+TEST(Datasets, SmallDatasetShapesAndValidity) {
+  const Dataset d = MakeSmallDataset(8, 21, 300.0, FastConfig());
+  EXPECT_EQ(d.truth.nodeCount(), 8u);
+  EXPECT_EQ(d.truth.binCount(), 21u);
+  EXPECT_EQ(d.measured.nodeCount(), 8u);
+  EXPECT_TRUE(d.truth.isValid());
+  EXPECT_TRUE(d.measured.isValid());
+  EXPECT_EQ(d.truePreference.size(), 8u);
+  EXPECT_NEAR(linalg::Sum(d.truePreference), 1.0, 1e-9);
+  EXPECT_THROW(MakeSmallDataset(8, 3, 300.0, FastConfig()), ictm::Error);
+}
+
+TEST(Datasets, DeterministicGivenSeed) {
+  const Dataset a = MakeSmallDataset(6, 14, 300.0, FastConfig(5));
+  const Dataset b = MakeSmallDataset(6, 14, 300.0, FastConfig(5));
+  EXPECT_DOUBLE_EQ(a.truth.grandTotal(), b.truth.grandTotal());
+  EXPECT_DOUBLE_EQ(a.measured.grandTotal(), b.measured.grandTotal());
+  const Dataset c = MakeSmallDataset(6, 14, 300.0, FastConfig(6));
+  EXPECT_NE(a.truth.grandTotal(), c.truth.grandTotal());
+}
+
+TEST(Datasets, RealizedForwardFractionInPaperBand) {
+  const Dataset d = MakeSmallDataset(10, 21, 300.0, FastConfig(2));
+  EXPECT_GT(d.realizedForwardFraction, 0.15);
+  EXPECT_LT(d.realizedForwardFraction, 0.40);
+}
+
+TEST(Datasets, PreferenceCapRespected) {
+  DatasetConfig cfg = FastConfig(3);
+  cfg.preferenceCapShare = 0.25;
+  const Dataset d = MakeSmallDataset(10, 14, 300.0, cfg);
+  for (double p : d.truePreference) {
+    EXPECT_LE(p, 0.25 + 1e-9);
+    EXPECT_GE(p, 0.0);
+  }
+  EXPECT_NEAR(linalg::Sum(d.truePreference), 1.0, 1e-9);
+}
+
+TEST(Datasets, MeasurementNoiseKeepsTotalsClose) {
+  DatasetConfig noisy = FastConfig(4);
+  noisy.measurementNoiseSigma = 0.5;
+  const Dataset d = MakeSmallDataset(8, 14, 300.0, noisy);
+  // Mean-one lognormal noise: totals should stay within ~15%.
+  EXPECT_NEAR(d.measured.grandTotal() / d.truth.grandTotal(), 1.0, 0.15);
+  // But individual entries must differ.
+  bool anyDiff = false;
+  for (std::size_t t = 0; t < 14 && !anyDiff; ++t)
+    for (std::size_t i = 0; i < 8 && !anyDiff; ++i)
+      for (std::size_t j = 0; j < 8; ++j)
+        if (d.measured(t, i, j) != d.truth(t, i, j)) {
+          anyDiff = true;
+          break;
+        }
+  EXPECT_TRUE(anyDiff);
+}
+
+TEST(Datasets, NoSamplingMeansMeasuredEqualsTruth) {
+  DatasetConfig cfg = FastConfig(5);
+  cfg.netflowSampling = false;
+  const Dataset d = MakeSmallDataset(6, 14, 300.0, cfg);
+  EXPECT_DOUBLE_EQ(d.measured.grandTotal(), d.truth.grandTotal());
+}
+
+TEST(Datasets, GeantLikeDimensions) {
+  // Shrink activity so this stays fast; dimensions are what matter.
+  DatasetConfig cfg = FastConfig(6);
+  cfg.peakActivityBytes = 5e6;
+  const Dataset d = MakeGeantLike(cfg);
+  EXPECT_EQ(d.truth.nodeCount(), 22u);
+  EXPECT_EQ(d.truth.binCount(), 2016u);  // one week of 5-min bins
+  EXPECT_EQ(d.binsPerWeek, 2016u);
+  EXPECT_DOUBLE_EQ(d.binSeconds, 300.0);
+}
+
+TEST(Datasets, TotemLikeDimensionsAndWeeks) {
+  DatasetConfig cfg = FastConfig(7);
+  cfg.peakActivityBytes = 5e6;
+  cfg.weeks = 2;
+  const Dataset d = MakeTotemLike(cfg);
+  EXPECT_EQ(d.truth.nodeCount(), 23u);
+  EXPECT_EQ(d.truth.binCount(), 2u * 672u);  // 15-min bins
+  EXPECT_DOUBLE_EQ(d.binSeconds, 900.0);
+}
+
+TEST(Datasets, ActivityDiurnalStructurePresent) {
+  // Ingress of a large node should show the daily period.
+  DatasetConfig cfg = FastConfig(8);
+  const Dataset d = MakeSmallDataset(6, 7 * 24, 3600.0, cfg);
+  // Build total-traffic series; period should be ~24 bins (1 day).
+  std::vector<double> totals(d.truth.binCount());
+  for (std::size_t t = 0; t < totals.size(); ++t)
+    totals[t] = d.truth.total(t);
+  const std::size_t period =
+      timeseries::DominantPeriod(totals, 12, 36);
+  EXPECT_NEAR(double(period), 24.0, 3.0);
+}
+
+}  // namespace
+}  // namespace ictm::dataset
+
+namespace ictm::core {
+namespace {
+
+TEST(Synthesis, RecipeProducesValidSeries) {
+  SynthesisConfig cfg;
+  cfg.nodes = 8;
+  cfg.bins = 96;
+  cfg.activityModel.profile.binsPerDay = 14;
+  stats::Rng rng(1);
+  const SyntheticTm out = GenerateSyntheticTm(cfg, rng);
+  EXPECT_EQ(out.series.nodeCount(), 8u);
+  EXPECT_EQ(out.series.binCount(), 96u);
+  EXPECT_TRUE(out.series.isValid());
+  EXPECT_NEAR(linalg::Sum(out.preference), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(out.f, cfg.f);
+}
+
+TEST(Synthesis, SeriesMatchesStableFPOfItsOwnParameters) {
+  SynthesisConfig cfg;
+  cfg.nodes = 5;
+  cfg.bins = 28;
+  cfg.activityModel.profile.binsPerDay = 4;
+  stats::Rng rng(2);
+  const SyntheticTm out = GenerateSyntheticTm(cfg, rng);
+  const auto direct =
+      EvaluateStableFP(out.f, out.activitySeries, out.preference,
+                       cfg.binSeconds);
+  for (std::size_t t = 0; t < 28; ++t) {
+    test::ExpectMatrixNear(out.series.bin(t), direct.bin(t), 1e-9);
+  }
+}
+
+TEST(Synthesis, PreferencesLongTailed) {
+  SynthesisConfig cfg;
+  cfg.nodes = 40;
+  cfg.bins = 7;
+  cfg.activityModel.profile.binsPerDay = 1;
+  stats::Rng rng(3);
+  const SyntheticTm out = GenerateSyntheticTm(cfg, rng);
+  // Long tail: the max preference should dwarf the median.
+  linalg::Vector sorted = out.preference;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_GT(sorted.back() / sorted[sorted.size() / 2], 3.0);
+}
+
+TEST(Synthesis, InvalidConfigThrows) {
+  SynthesisConfig cfg;
+  cfg.nodes = 0;
+  stats::Rng rng(4);
+  EXPECT_THROW(GenerateSyntheticTm(cfg, rng), ictm::Error);
+  cfg = SynthesisConfig{};
+  cfg.f = 1.0;
+  EXPECT_THROW(GenerateSyntheticTm(cfg, rng), ictm::Error);
+}
+
+}  // namespace
+}  // namespace ictm::core

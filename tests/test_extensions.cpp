@@ -1,0 +1,280 @@
+// Tests for the extension modules: general-IC fitting (Sec. 5.6
+// future work), cyclo-stationary model fitting (Sec. 5.4 future work)
+// and bootstrap confidence intervals.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/general_fit.hpp"
+#include "core/ic_model.hpp"
+#include "core/metrics.hpp"
+#include "dataset/datasets.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/summary.hpp"
+#include "timeseries/cyclo_fit.hpp"
+#include "timeseries/cyclostationary.hpp"
+#include "test_util.hpp"
+
+namespace ictm {
+namespace {
+
+// ---- general IC fit -----------------------------------------------------
+
+// Builds an exact general-IC series with a chosen asymmetric F.
+struct GeneralInstance {
+  linalg::Matrix forwardFractions;
+  linalg::Vector preference;
+  linalg::Matrix activity;
+  traffic::TrafficMatrixSeries series{1, 1};
+};
+
+GeneralInstance MakeGeneralInstance(std::size_t n, std::size_t bins,
+                                    std::uint64_t seed,
+                                    double asymmetry) {
+  stats::Rng rng(seed);
+  GeneralInstance inst;
+  inst.preference = test::RandomPositiveVector(n, rng, 0.2, 2.0);
+  const double s = linalg::Sum(inst.preference);
+  for (double& p : inst.preference) p /= s;
+  inst.forwardFractions = linalg::Matrix(n, n, 0.25);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double delta =
+          asymmetry > 0.0 ? rng.uniform(-asymmetry, asymmetry) : 0.0;
+      inst.forwardFractions(i, j) = std::clamp(0.25 + delta, 0.02, 0.6);
+      inst.forwardFractions(j, i) = std::clamp(0.25 - delta, 0.02, 0.6);
+    }
+  }
+  inst.activity = linalg::Matrix(n, bins);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double base = rng.uniform(1e5, 1e7);
+    const double wobble = rng.uniform(0.2, 0.7);
+    const double phase = rng.uniform(0.0, 6.0);
+    for (std::size_t t = 0; t < bins; ++t) {
+      inst.activity(i, t) =
+          base * (1.0 + wobble * std::sin(phase + 0.41 * double(t) +
+                                          0.13 * double(i * t)));
+    }
+  }
+  inst.series = core::EvaluateGeneralIcSeries(
+      inst.forwardFractions, inst.activity, inst.preference);
+  return inst;
+}
+
+TEST(GeneralFit, EvaluateSeriesMatchesPerBin) {
+  const GeneralInstance inst = MakeGeneralInstance(4, 6, 1, 0.15);
+  for (std::size_t t = 0; t < 6; ++t) {
+    test::ExpectMatrixNear(
+        inst.series.bin(t),
+        core::EvaluateGeneralIc(inst.forwardFractions,
+                                inst.activity.col(t), inst.preference),
+        1e-9);
+  }
+}
+
+TEST(GeneralFit, BeatsSimplifiedOnAsymmetricData) {
+  const GeneralInstance inst = MakeGeneralInstance(6, 40, 2, 0.2);
+  const core::GeneralIcFit fit = core::FitGeneralIc(inst.series);
+  EXPECT_LT(fit.objective, fit.simplifiedObjective);
+  // And the general fit should be near-exact on exact general data.
+  EXPECT_LT(fit.objective / 40.0, 0.05);
+}
+
+TEST(GeneralFit, RecoversAsymmetryMagnitude) {
+  const GeneralInstance inst = MakeGeneralInstance(6, 60, 3, 0.18);
+  const core::GeneralIcFit fit = core::FitGeneralIc(inst.series);
+  const double trueAsym =
+      core::ForwardFractionAsymmetry(inst.forwardFractions);
+  const double fitAsym =
+      core::ForwardFractionAsymmetry(fit.forwardFractions);
+  EXPECT_NEAR(fitAsym, trueAsym, 0.5 * trueAsym + 0.02);
+}
+
+TEST(GeneralFit, SymmetricDataYieldsNearSymmetricF) {
+  const GeneralInstance inst = MakeGeneralInstance(5, 40, 4, 0.0);
+  const core::GeneralIcFit fit = core::FitGeneralIc(inst.series);
+  EXPECT_LT(core::ForwardFractionAsymmetry(fit.forwardFractions), 0.08);
+}
+
+TEST(GeneralFit, FStaysInUnitInterval) {
+  const GeneralInstance inst = MakeGeneralInstance(5, 25, 5, 0.3);
+  const core::GeneralIcFit fit = core::FitGeneralIc(inst.series);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_GE(fit.forwardFractions(i, j), 0.0);
+      EXPECT_LE(fit.forwardFractions(i, j), 1.0);
+    }
+  }
+}
+
+TEST(GeneralFit, ZeroRefinementRoundsEqualsSimplified) {
+  const GeneralInstance inst = MakeGeneralInstance(4, 20, 6, 0.1);
+  core::GeneralFitOptions opt;
+  opt.refinementRounds = 0;
+  const core::GeneralIcFit fit = core::FitGeneralIc(inst.series, opt);
+  EXPECT_DOUBLE_EQ(fit.objective, fit.simplifiedObjective);
+  // F is the constant simplified f.
+  EXPECT_DOUBLE_EQ(fit.forwardFractions(0, 1),
+                   fit.forwardFractions(1, 0));
+}
+
+TEST(GeneralFit, HelpsUnderRoutingAsymmetry) {
+  // On hot-potato data (Sec. 5.6) the general model fits better than
+  // the simplified one.
+  dataset::DatasetConfig cfg;
+  cfg.seed = 7;
+  cfg.peakActivityBytes = 2e8;
+  cfg.netflowSampling = false;
+  cfg.routingAsymmetry = 0.4;
+  const dataset::Dataset d = dataset::MakeSmallDataset(8, 42, 300.0, cfg);
+  const core::GeneralIcFit fit = core::FitGeneralIc(d.measured);
+  EXPECT_LT(fit.objective, fit.simplifiedObjective);
+}
+
+TEST(GeneralFit, AsymmetryMetricValidation) {
+  EXPECT_THROW(core::ForwardFractionAsymmetry(linalg::Matrix(2, 3)),
+               ictm::Error);
+  EXPECT_THROW(core::ForwardFractionAsymmetry(linalg::Matrix(1, 1)),
+               ictm::Error);
+  linalg::Matrix f(3, 3, 0.25);
+  EXPECT_DOUBLE_EQ(core::ForwardFractionAsymmetry(f), 0.0);
+  f(0, 1) = 0.45;
+  f(1, 0) = 0.05;
+  EXPECT_NEAR(core::ForwardFractionAsymmetry(f), 0.4 / 3.0, 1e-12);
+}
+
+// ---- cyclo-stationary fitting -------------------------------------------
+
+TEST(CycloFit, RecoversTemplateFromCleanPeriodicData) {
+  const std::size_t binsPerWeek = 28;
+  std::vector<double> series(binsPerWeek * 4);
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    series[t] = 100.0 + 50.0 * std::sin(2.0 * M_PI *
+                                        double(t % binsPerWeek) /
+                                        double(binsPerWeek));
+  }
+  const auto model =
+      timeseries::FitCyclostationary(series, binsPerWeek);
+  ASSERT_EQ(model.weeklyTemplate.size(), binsPerWeek);
+  for (std::size_t s = 0; s < binsPerWeek; ++s) {
+    EXPECT_NEAR(model.weeklyTemplate[s], series[s], 1e-9);
+  }
+  EXPECT_NEAR(model.residualSigma, 0.0, 1e-9);
+  EXPECT_GT(timeseries::SeasonalR2(series, model), 0.999);
+}
+
+TEST(CycloFit, RoundTripsThroughGenerator) {
+  // Fit a model to generated activity, regenerate, and check the
+  // regenerated series has the same weekly shape (high seasonal R^2
+  // against the fitted template).
+  timeseries::ActivityModel gen;
+  gen.profile.binsPerDay = 24;
+  gen.noiseSigma = 0.1;
+  stats::Rng rng(11);
+  const auto original =
+      timeseries::GenerateActivitySeries(gen, 24 * 7 * 4, rng);
+  const auto model = timeseries::FitCyclostationary(original, 24 * 7);
+  EXPECT_GT(timeseries::SeasonalR2(original, model), 0.8);
+
+  stats::Rng rng2(12);
+  const auto regen =
+      timeseries::GenerateFromCycloModel(model, 24 * 7 * 2, rng2);
+  EXPECT_GT(timeseries::SeasonalR2(regen, model), 0.8);
+  for (double v : regen) EXPECT_GT(v, 0.0);
+}
+
+TEST(CycloFit, EstimatesResidualSigma) {
+  timeseries::ActivityModel gen;
+  gen.profile.binsPerDay = 24;
+  gen.noiseSigma = 0.25;
+  gen.noisePhi = 0.0;
+  gen.weeklyDriftSigma = 0.0;
+  stats::Rng rng(13);
+  const auto series =
+      timeseries::GenerateActivitySeries(gen, 24 * 7 * 6, rng);
+  const auto model = timeseries::FitCyclostationary(series, 24 * 7);
+  EXPECT_NEAR(model.residualSigma, 0.25, 0.06);
+}
+
+TEST(CycloFit, EstimatesArCoefficient) {
+  timeseries::ActivityModel gen;
+  gen.profile.binsPerDay = 24;
+  gen.noiseSigma = 0.3;
+  gen.noisePhi = 0.7;
+  gen.weeklyDriftSigma = 0.0;
+  stats::Rng rng(14);
+  const auto series =
+      timeseries::GenerateActivitySeries(gen, 24 * 7 * 8, rng);
+  const auto model = timeseries::FitCyclostationary(series, 24 * 7);
+  EXPECT_NEAR(model.residualPhi, 0.7, 0.15);
+}
+
+TEST(CycloFit, ValidationErrors) {
+  EXPECT_THROW(timeseries::FitCyclostationary({1.0, 2.0}, 0),
+               ictm::Error);
+  EXPECT_THROW(timeseries::FitCyclostationary({1.0, 2.0}, 5),
+               ictm::Error);
+  EXPECT_THROW(timeseries::FitCyclostationary({1.0, -2.0}, 2),
+               ictm::Error);
+  // Template slot of all zeros.
+  EXPECT_THROW(timeseries::FitCyclostationary({1.0, 0.0, 1.0, 0.0}, 2),
+               ictm::Error);
+  timeseries::CycloModel empty;
+  stats::Rng rng(1);
+  EXPECT_THROW(timeseries::GenerateFromCycloModel(empty, 5, rng),
+               ictm::Error);
+}
+
+// ---- bootstrap -----------------------------------------------------------
+
+TEST(Bootstrap, MeanIntervalCoversTruthOnGaussianData) {
+  stats::Rng rng(21);
+  std::vector<double> sample(200);
+  for (double& x : sample) x = rng.gaussian(5.0, 2.0);
+  stats::Rng bootRng(22);
+  const auto ci =
+      stats::BootstrapMeanCi(sample, 0.95, 500, bootRng);
+  EXPECT_LT(ci.lower, 5.0);
+  EXPECT_GT(ci.upper, 5.0);
+  EXPECT_NEAR(ci.estimate, 5.0, 0.5);
+  EXPECT_LT(ci.lower, ci.estimate);
+  EXPECT_GT(ci.upper, ci.estimate);
+  // 95% half-width of the mean of 200 draws of sd 2: ~1.96*2/sqrt(200).
+  EXPECT_NEAR(ci.upper - ci.lower, 2 * 1.96 * 2.0 / std::sqrt(200.0),
+              0.2);
+}
+
+TEST(Bootstrap, IntervalShrinksWithSampleSize) {
+  stats::Rng rng(23);
+  std::vector<double> small(50), large(2000);
+  for (double& x : small) x = rng.gaussian(0.0, 1.0);
+  for (double& x : large) x = rng.gaussian(0.0, 1.0);
+  stats::Rng b1(24), b2(25);
+  const auto ciSmall = stats::BootstrapMeanCi(small, 0.9, 400, b1);
+  const auto ciLarge = stats::BootstrapMeanCi(large, 0.9, 400, b2);
+  EXPECT_LT(ciLarge.upper - ciLarge.lower,
+            ciSmall.upper - ciSmall.lower);
+}
+
+TEST(Bootstrap, CustomStatistic) {
+  std::vector<double> sample{1, 2, 3, 4, 100};
+  stats::Rng rng(26);
+  const auto ci = stats::BootstrapCi(
+      sample,
+      [](const std::vector<double>& xs) { return stats::Median(xs); },
+      0.9, 300, rng);
+  EXPECT_DOUBLE_EQ(ci.estimate, 3.0);
+  EXPECT_GE(ci.lower, 1.0);
+  EXPECT_LE(ci.upper, 100.0);
+}
+
+TEST(Bootstrap, ValidationErrors) {
+  stats::Rng rng(27);
+  EXPECT_THROW(stats::BootstrapMeanCi({}, 0.9, 100, rng), ictm::Error);
+  EXPECT_THROW(stats::BootstrapMeanCi({1.0}, 1.5, 100, rng),
+               ictm::Error);
+  EXPECT_THROW(stats::BootstrapMeanCi({1.0}, 0.9, 5, rng), ictm::Error);
+}
+
+}  // namespace
+}  // namespace ictm

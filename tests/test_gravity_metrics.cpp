@@ -1,0 +1,142 @@
+// Tests for the gravity baseline and the RelL2 error metrics (Eq. 6).
+#include <gtest/gtest.h>
+
+#include "core/gravity.hpp"
+#include "core/metrics.hpp"
+#include "test_util.hpp"
+
+namespace ictm::core {
+namespace {
+
+TEST(Gravity, PreservesMarginals) {
+  const linalg::Vector in{10, 20, 30};
+  const linalg::Vector out{30, 20, 10};
+  const linalg::Matrix tm = GravityPredict(in, out);
+  for (std::size_t i = 0; i < 3; ++i) {
+    double rowSum = 0.0, colSum = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) {
+      rowSum += tm(i, j);
+      colSum += tm(j, i);
+    }
+    EXPECT_NEAR(rowSum, in[i], 1e-9);
+    EXPECT_NEAR(colSum, out[i], 1e-9);
+  }
+}
+
+TEST(Gravity, ExactOnProductFormTraffic) {
+  // Gravity is exact when the TM is rank-1 (X_ij = u_i v_j).
+  const linalg::Vector u{1, 2, 3};
+  const linalg::Vector v{4, 5, 6};
+  linalg::Matrix tm(3, 3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) tm(i, j) = u[i] * v[j];
+  linalg::Vector in(3, 0.0), out(3, 0.0);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) {
+      in[i] += tm(i, j);
+      out[j] += tm(i, j);
+    }
+  test::ExpectMatrixNear(GravityPredict(in, out), tm, 1e-9);
+}
+
+TEST(Gravity, ConditionalEgressIndependentOfIngress) {
+  // The defining property the paper attacks: under gravity,
+  // P[E=j | I=i] is the same for every i.
+  const linalg::Matrix tm =
+      GravityPredict({5, 10, 15}, {12, 9, 9});
+  for (std::size_t j = 0; j < 3; ++j) {
+    double p0 = tm(0, j) / 5.0;
+    double p1 = tm(1, j) / 10.0;
+    double p2 = tm(2, j) / 15.0;
+    EXPECT_NEAR(p0, p1, 1e-12);
+    EXPECT_NEAR(p1, p2, 1e-12);
+  }
+}
+
+TEST(Gravity, InvalidInputsThrow) {
+  EXPECT_THROW(GravityPredict({}, {}), ictm::Error);
+  EXPECT_THROW(GravityPredict({1.0}, {1.0, 2.0}), ictm::Error);
+  EXPECT_THROW(GravityPredict({-1.0, 1.0}, {0.5, 0.5}), ictm::Error);
+  EXPECT_THROW(GravityPredict({0.0, 0.0}, {0.0, 0.0}), ictm::Error);
+}
+
+TEST(Gravity, SeriesUsesPerBinMarginals) {
+  traffic::TrafficMatrixSeries s(2, 2, 300.0);
+  s(0, 0, 1) = 10.0;
+  s(1, 1, 0) = 4.0;
+  const auto grav = GravityPredictSeries(s);
+  EXPECT_EQ(grav.binCount(), 2u);
+  // Bin 0: all ingress at 0, all egress at 1 -> X_01 = 10.
+  EXPECT_NEAR(grav(0, 0, 1), 10.0, 1e-9);
+  EXPECT_NEAR(grav(1, 1, 0), 4.0, 1e-9);
+}
+
+TEST(RelL2, ZeroForPerfectEstimate) {
+  stats::Rng rng(1);
+  const linalg::Matrix m = test::RandomMatrix(4, 4, rng, 0.0, 5.0);
+  EXPECT_DOUBLE_EQ(RelL2Temporal(m, m), 0.0);
+}
+
+TEST(RelL2, OneForZeroEstimate) {
+  stats::Rng rng(2);
+  const linalg::Matrix m = test::RandomMatrix(4, 4, rng, 1.0, 5.0);
+  EXPECT_NEAR(RelL2Temporal(m, linalg::Matrix(4, 4, 0.0)), 1.0, 1e-12);
+}
+
+TEST(RelL2, ScaleInvariant) {
+  stats::Rng rng(3);
+  const linalg::Matrix a = test::RandomMatrix(4, 4, rng, 1.0, 5.0);
+  const linalg::Matrix b = test::RandomMatrix(4, 4, rng, 1.0, 5.0);
+  EXPECT_NEAR(RelL2Temporal(a, b), RelL2Temporal(a * 7.0, b * 7.0), 1e-12);
+}
+
+TEST(RelL2, KnownHandComputedValue) {
+  const linalg::Matrix actual{{3, 0}, {0, 4}};
+  const linalg::Matrix est{{3, 0}, {0, 1}};  // error norm 3, actual norm 5
+  EXPECT_NEAR(RelL2Temporal(actual, est), 0.6, 1e-12);
+  EXPECT_THROW(RelL2Temporal(linalg::Matrix(2, 2, 0.0), est), ictm::Error);
+}
+
+TEST(RelL2, SeriesAndObjective) {
+  traffic::TrafficMatrixSeries a(2, 2, 300.0), b(2, 2, 300.0);
+  a(0, 0, 1) = 3.0;
+  b(0, 0, 1) = 3.0;  // exact in bin 0
+  a(1, 0, 1) = 4.0;
+  b(1, 0, 1) = 2.0;  // 50% off in bin 1
+  const auto errs = RelL2TemporalSeries(a, b);
+  ASSERT_EQ(errs.size(), 2u);
+  EXPECT_DOUBLE_EQ(errs[0], 0.0);
+  EXPECT_DOUBLE_EQ(errs[1], 0.5);
+  EXPECT_DOUBLE_EQ(RelL2Objective(a, b), 0.5);
+}
+
+TEST(RelL2, SpatialErrorPerOdPair) {
+  traffic::TrafficMatrixSeries a(2, 3, 300.0), b(2, 3, 300.0);
+  for (std::size_t t = 0; t < 3; ++t) {
+    a(t, 0, 1) = 4.0;
+    b(t, 0, 1) = 2.0;
+  }
+  EXPECT_NEAR(RelL2Spatial(a, b, 0, 1), 0.5, 1e-12);
+  EXPECT_THROW(RelL2Spatial(a, b, 1, 0), ictm::Error);  // all-zero series
+}
+
+TEST(Improvement, PositiveWhenCandidateBetter) {
+  const auto imp = PercentImprovementSeries({0.4, 0.5}, {0.3, 0.25});
+  EXPECT_NEAR(imp[0], 25.0, 1e-9);
+  EXPECT_NEAR(imp[1], 50.0, 1e-9);
+}
+
+TEST(Improvement, NegativeWhenCandidateWorse) {
+  const auto imp = PercentImprovementSeries({0.4}, {0.5});
+  EXPECT_NEAR(imp[0], -25.0, 1e-9);
+  EXPECT_THROW(PercentImprovementSeries({0.0}, {0.1}), ictm::Error);
+  EXPECT_THROW(PercentImprovementSeries({0.1, 0.2}, {0.1}), ictm::Error);
+}
+
+TEST(MeanFn, SimpleAverageAndErrors) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_THROW(Mean({}), ictm::Error);
+}
+
+}  // namespace
+}  // namespace ictm::core

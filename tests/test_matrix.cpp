@@ -1,0 +1,195 @@
+// Unit tests for the dense matrix/vector substrate.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "linalg/matrix.hpp"
+#include "test_util.hpp"
+
+namespace ictm::linalg {
+namespace {
+
+TEST(Matrix, DefaultConstructedIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(2, 3, 7.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 7.5);
+}
+
+TEST(Matrix, InitializerListLayout) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_DOUBLE_EQ(m(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m(0, 2), 3);
+  EXPECT_DOUBLE_EQ(m(1, 0), 4);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), ictm::Error);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const Matrix id = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(id(1, 2), 0.0);
+  const Matrix d = Matrix::Diagonal({2, 3});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, FromRowsAndFromColumn) {
+  const Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+  const Matrix c = Matrix::FromColumn({7, 8});
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 1u);
+  EXPECT_DOUBLE_EQ(c(1, 0), 8.0);
+  EXPECT_THROW(Matrix::FromRows({{1, 2}, {3}}), ictm::Error);
+}
+
+TEST(Matrix, CheckedAccessThrowsOutOfRange) {
+  Matrix m(2, 2);
+  EXPECT_NO_THROW(m.at(1, 1));
+  EXPECT_THROW(m.at(2, 0), ictm::Error);
+  EXPECT_THROW(m.at(0, 2), ictm::Error);
+  const Matrix& cm = m;
+  EXPECT_THROW(cm.at(2, 2), ictm::Error);
+}
+
+TEST(Matrix, RowColumnAccessors) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.row(1), (Vector{3, 4}));
+  EXPECT_EQ(m.col(0), (Vector{1, 3}));
+  m.setRow(0, {9, 8});
+  EXPECT_DOUBLE_EQ(m(0, 1), 8.0);
+  m.setCol(1, {7, 6});
+  EXPECT_DOUBLE_EQ(m(1, 1), 6.0);
+  EXPECT_THROW(m.setRow(0, {1}), ictm::Error);
+  EXPECT_THROW(m.setCol(5, {1, 2}), ictm::Error);
+}
+
+TEST(Matrix, Transpose) {
+  const Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_TRUE(t.transposed() == m);
+}
+
+TEST(Matrix, ArithmeticOperators) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  EXPECT_TRUE((a + b) == (Matrix{{6, 8}, {10, 12}}));
+  EXPECT_TRUE((b - a) == (Matrix{{4, 4}, {4, 4}}));
+  EXPECT_TRUE((a * 2.0) == (Matrix{{2, 4}, {6, 8}}));
+  EXPECT_TRUE((2.0 * a) == (Matrix{{2, 4}, {6, 8}}));
+  Matrix c = a;
+  c += b;
+  EXPECT_TRUE(c == (a + b));
+  EXPECT_THROW(a + Matrix(3, 3), ictm::Error);
+}
+
+TEST(Matrix, MatrixProduct) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  EXPECT_TRUE((a * b) == (Matrix{{19, 22}, {43, 50}}));
+  // Identity is neutral.
+  EXPECT_TRUE((a * Matrix::Identity(2)) == a);
+  EXPECT_THROW(a * Matrix(3, 2), ictm::Error);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  const Matrix a{{1, 2}, {3, 4}};
+  EXPECT_EQ(a * Vector({1, 1}), (Vector{3, 7}));
+  EXPECT_THROW(a * Vector({1, 2, 3}), ictm::Error);
+}
+
+TEST(Matrix, ProductAssociativityRandom) {
+  stats::Rng rng(99);
+  const Matrix a = test::RandomMatrix(4, 6, rng);
+  const Matrix b = test::RandomMatrix(6, 3, rng);
+  const Matrix c = test::RandomMatrix(3, 5, rng);
+  EXPECT_TRUE(AlmostEqual((a * b) * c, a * (b * c), 1e-12));
+}
+
+TEST(Matrix, NormsAndSums) {
+  const Matrix m{{3, 4}, {0, 0}};
+  EXPECT_DOUBLE_EQ(m.frobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.maxAbs(), 4.0);
+  EXPECT_DOUBLE_EQ(m.sum(), 7.0);
+}
+
+TEST(Matrix, FillAndBlock) {
+  Matrix m(3, 3);
+  m.fill(2.0);
+  EXPECT_DOUBLE_EQ(m.sum(), 18.0);
+  m(1, 1) = 5.0;
+  const Matrix b = m.block(1, 1, 2, 2);
+  EXPECT_EQ(b.rows(), 2u);
+  EXPECT_DOUBLE_EQ(b(0, 0), 5.0);
+  EXPECT_THROW(m.block(2, 2, 2, 2), ictm::Error);
+}
+
+TEST(Matrix, StreamOutputContainsElements) {
+  const Matrix m{{1, 2}, {3, 4}};
+  std::ostringstream os;
+  os << m;
+  EXPECT_NE(os.str().find('1'), std::string::npos);
+  EXPECT_NE(os.str().find('4'), std::string::npos);
+}
+
+TEST(Matrix, AlmostEqualToleratesSmallDifferences) {
+  const Matrix a{{1.0}};
+  const Matrix b{{1.0 + 1e-13}};
+  EXPECT_TRUE(AlmostEqual(a, b, 1e-12));
+  EXPECT_FALSE(AlmostEqual(a, b, 1e-14));
+  EXPECT_FALSE(AlmostEqual(a, Matrix(2, 1), 1.0));
+}
+
+TEST(VectorOps, DotNormSum) {
+  const Vector a{1, 2, 3};
+  const Vector b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(Norm2({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Sum(a), 6.0);
+  EXPECT_THROW(Dot(a, {1.0}), ictm::Error);
+}
+
+TEST(VectorOps, AddSubScaleAxpy) {
+  const Vector a{1, 2};
+  const Vector b{3, 5};
+  EXPECT_EQ(Add(a, b), (Vector{4, 7}));
+  EXPECT_EQ(Sub(b, a), (Vector{2, 3}));
+  EXPECT_EQ(Scale(a, 3.0), (Vector{3, 6}));
+  Vector y{1, 1};
+  Axpy(2.0, a, y);
+  EXPECT_EQ(y, (Vector{3, 5}));
+}
+
+TEST(VectorOps, TransposeTimesMatchesExplicitTranspose) {
+  stats::Rng rng(5);
+  const Matrix a = test::RandomMatrix(7, 4, rng);
+  const Vector v = test::RandomVector(7, rng);
+  test::ExpectVectorNear(TransposeTimes(a, v), a.transposed() * v, 1e-12);
+}
+
+TEST(VectorOps, MaxAbs) {
+  EXPECT_DOUBLE_EQ(MaxAbs({-3, 2}), 3.0);
+  EXPECT_DOUBLE_EQ(MaxAbs({}), 0.0);
+}
+
+}  // namespace
+}  // namespace ictm::linalg

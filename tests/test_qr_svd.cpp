@@ -1,0 +1,185 @@
+// Tests for the QR and SVD factorisations and the pseudo-inverse.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+#include "test_util.hpp"
+
+namespace ictm::linalg {
+namespace {
+
+TEST(HouseholderQR, ReconstructsInput) {
+  stats::Rng rng(1);
+  const Matrix a = test::RandomMatrix(8, 5, rng);
+  HouseholderQR qr(a);
+  test::ExpectMatrixNear(qr.thinQ() * qr.thinR(), a, 1e-10);
+}
+
+TEST(HouseholderQR, ThinQHasOrthonormalColumns) {
+  stats::Rng rng(2);
+  const Matrix a = test::RandomMatrix(9, 4, rng);
+  const Matrix q = HouseholderQR(a).thinQ();
+  test::ExpectMatrixNear(q.transposed() * q, Matrix::Identity(4), 1e-10);
+}
+
+TEST(HouseholderQR, SolvesSquareSystemExactly) {
+  const Matrix a{{2, 1}, {1, 3}};
+  const Vector x{1.5, -2.0};
+  const Vector b = a * x;
+  test::ExpectVectorNear(HouseholderQR(a).solve(b), x, 1e-12);
+}
+
+TEST(HouseholderQR, LeastSquaresMatchesNormalEquations) {
+  stats::Rng rng(3);
+  const Matrix a = test::RandomMatrix(12, 4, rng);
+  const Vector b = test::RandomVector(12, rng);
+  const Vector x = HouseholderQR(a).solve(b);
+  // Normal equations: A^T A x = A^T b.
+  test::ExpectVectorNear(a.transposed() * (a * x),
+                         TransposeTimes(a, b), 1e-9);
+}
+
+TEST(HouseholderQR, RejectsWideMatrices) {
+  EXPECT_THROW(HouseholderQR(Matrix(2, 5)), ictm::Error);
+}
+
+TEST(HouseholderQR, RankDetectsDeficiency) {
+  // Second column is twice the first.
+  Matrix a(5, 2);
+  stats::Rng rng(4);
+  for (std::size_t i = 0; i < 5; ++i) {
+    a(i, 0) = rng.uniform();
+    a(i, 1) = 2.0 * a(i, 0);
+  }
+  HouseholderQR qr(a);
+  EXPECT_EQ(qr.rank(1e-10), 1u);
+  EXPECT_THROW(qr.solve(Vector(5, 1.0)), ictm::Error);
+}
+
+TEST(HouseholderQR, SolveMultipleRhs) {
+  stats::Rng rng(5);
+  const Matrix a = test::RandomMatrix(6, 3, rng);
+  const Matrix xTrue = test::RandomMatrix(3, 2, rng);
+  const Matrix b = a * xTrue;
+  test::ExpectMatrixNear(HouseholderQR(a).solve(b), xTrue, 1e-9);
+}
+
+TEST(Svd, ReconstructsTallMatrix) {
+  stats::Rng rng(6);
+  const Matrix a = test::RandomMatrix(7, 4, rng);
+  test::ExpectMatrixNear(ComputeSvd(a).reconstruct(), a, 1e-10);
+}
+
+TEST(Svd, ReconstructsWideMatrix) {
+  stats::Rng rng(7);
+  const Matrix a = test::RandomMatrix(3, 8, rng);
+  test::ExpectMatrixNear(ComputeSvd(a).reconstruct(), a, 1e-10);
+}
+
+TEST(Svd, SingularValuesSortedNonNegative) {
+  stats::Rng rng(8);
+  const SvdResult svd = ComputeSvd(test::RandomMatrix(6, 6, rng));
+  for (std::size_t i = 0; i + 1 < svd.s.size(); ++i) {
+    EXPECT_GE(svd.s[i], svd.s[i + 1]);
+  }
+  EXPECT_GE(svd.s.back(), 0.0);
+}
+
+TEST(Svd, FactorsAreOrthonormal) {
+  stats::Rng rng(9);
+  const SvdResult svd = ComputeSvd(test::RandomMatrix(8, 5, rng));
+  test::ExpectMatrixNear(svd.u.transposed() * svd.u, Matrix::Identity(5),
+                         1e-10);
+  test::ExpectMatrixNear(svd.v.transposed() * svd.v, Matrix::Identity(5),
+                         1e-10);
+}
+
+TEST(Svd, KnownDiagonalMatrix) {
+  const SvdResult svd = ComputeSvd(Matrix::Diagonal({3.0, 1.0, 2.0}));
+  EXPECT_NEAR(svd.s[0], 3.0, 1e-12);
+  EXPECT_NEAR(svd.s[1], 2.0, 1e-12);
+  EXPECT_NEAR(svd.s[2], 1.0, 1e-12);
+}
+
+TEST(Svd, RankOfLowRankMatrix) {
+  // Outer product => rank 1.
+  Matrix a(5, 4);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      a(i, j) = double(i + 1) * double(j + 1);
+  EXPECT_EQ(ComputeSvd(a).rank(1e-10), 1u);
+}
+
+TEST(Svd, MatchesQrOnFullRank) {
+  // ||A||_2 from SVD equals sqrt(largest eigenvalue of A^T A) —
+  // cross-check the two factorizations agree on the Frobenius norm.
+  stats::Rng rng(10);
+  const Matrix a = test::RandomMatrix(6, 4, rng);
+  const SvdResult svd = ComputeSvd(a);
+  double fro2 = 0.0;
+  for (double s : svd.s) fro2 += s * s;
+  EXPECT_NEAR(std::sqrt(fro2), a.frobeniusNorm(), 1e-10);
+}
+
+// --- Moore–Penrose conditions for the pseudo-inverse -------------------
+
+class PinvProperty : public ::testing::TestWithParam<
+                         std::tuple<std::size_t, std::size_t, int>> {};
+
+TEST_P(PinvProperty, MoorePenroseConditions) {
+  const auto [rows, cols, seed] = GetParam();
+  stats::Rng rng(static_cast<std::uint64_t>(seed));
+  const Matrix a = test::RandomMatrix(rows, cols, rng);
+  const Matrix p = PseudoInverse(a);
+  ASSERT_EQ(p.rows(), cols);
+  ASSERT_EQ(p.cols(), rows);
+  // 1. A P A = A;  2. P A P = P;  3/4. (AP), (PA) symmetric.
+  test::ExpectMatrixNear(a * p * a, a, 1e-8);
+  test::ExpectMatrixNear(p * a * p, p, 1e-8);
+  test::ExpectMatrixNear((a * p).transposed(), a * p, 1e-8);
+  test::ExpectMatrixNear((p * a).transposed(), p * a, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PinvProperty,
+    ::testing::Values(std::make_tuple(5, 5, 11), std::make_tuple(8, 3, 12),
+                      std::make_tuple(3, 8, 13), std::make_tuple(10, 7, 14),
+                      std::make_tuple(4, 9, 15), std::make_tuple(6, 6, 16)));
+
+TEST(Pinv, RankDeficientStillSatisfiesConditions) {
+  // Rank-2 matrix built from two outer products.
+  stats::Rng rng(20);
+  const Matrix u = test::RandomMatrix(6, 2, rng);
+  const Matrix v = test::RandomMatrix(2, 5, rng);
+  const Matrix a = u * v;
+  const Matrix p = PseudoInverse(a);
+  test::ExpectMatrixNear(a * p * a, a, 1e-8);
+  test::ExpectMatrixNear(p * a * p, p, 1e-8);
+}
+
+TEST(Pinv, InverseOfInvertibleMatrix) {
+  const Matrix a{{2, 0}, {0, 4}};
+  test::ExpectMatrixNear(PseudoInverse(a), Matrix{{0.5, 0}, {0, 0.25}},
+                         1e-12);
+}
+
+TEST(SolveMinNorm, PicksMinimumNormSolution) {
+  // Underdetermined: x0 + x1 = 2 has min-norm solution (1, 1).
+  const Matrix a{{1, 1}};
+  const Vector x = SolveMinNorm(a, {2.0});
+  test::ExpectVectorNear(x, {1.0, 1.0}, 1e-10);
+}
+
+TEST(SolveMinNorm, ConsistentWithQrOnFullRank) {
+  stats::Rng rng(21);
+  const Matrix a = test::RandomMatrix(9, 4, rng);
+  const Vector b = test::RandomVector(9, rng);
+  test::ExpectVectorNear(SolveMinNorm(a, b), HouseholderQR(a).solve(b),
+                         1e-8);
+}
+
+}  // namespace
+}  // namespace ictm::linalg

@@ -1,0 +1,241 @@
+// Tests for distributions, MLE fitting, and descriptive statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/distributions.hpp"
+#include "stats/fitting.hpp"
+#include "stats/summary.hpp"
+#include "test_util.hpp"
+
+namespace ictm::stats {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+  EXPECT_THROW(rng.uniform(3.0, 2.0), ictm::Error);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(2);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian(5.0, 2.0);
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+  EXPECT_THROW(rng.gaussian(0.0, -1.0), ictm::Error);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(3);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += double(rng.poisson(7.5));
+  EXPECT_NEAR(sum / n, 7.5, 0.15);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng a(10);
+  Rng b = a.fork();
+  // Forked stream should not reproduce the parent's next draws.
+  bool allEqual = true;
+  for (int i = 0; i < 8; ++i) {
+    if (a.uniform() != b.uniform()) allEqual = false;
+  }
+  EXPECT_FALSE(allEqual);
+}
+
+TEST(Lognormal, PdfIntegratesToCdf) {
+  const Lognormal d(0.5, 0.8);
+  // Numerical integral of the pdf approximates the cdf.
+  double acc = 0.0;
+  const double dx = 1e-3;
+  for (double x = dx / 2; x < 4.0; x += dx) acc += d.pdf(x) * dx;
+  EXPECT_NEAR(acc, d.cdf(4.0), 1e-3);
+}
+
+TEST(Lognormal, CdfCcdfComplement) {
+  const Lognormal d(-4.3, 1.7);
+  for (double x : {0.001, 0.01, 0.1, 1.0}) {
+    EXPECT_NEAR(d.cdf(x) + d.ccdf(x), 1.0, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(d.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.pdf(-1.0), 0.0);
+}
+
+TEST(Lognormal, SampleMomentsMatchTheory) {
+  const Lognormal d(1.0, 0.5);
+  Rng rng(4);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / n, d.mean(), d.mean() * 0.02);
+  EXPECT_THROW(Lognormal(0.0, 0.0), ictm::Error);
+}
+
+TEST(Exponential, BasicProperties) {
+  const Exponential d(2.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.5);
+  EXPECT_NEAR(d.cdf(0.5), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(d.ccdf(0.5), std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(d.pdf(-1.0), 0.0);
+  EXPECT_THROW(Exponential(0.0), ictm::Error);
+}
+
+TEST(Pareto, TailAndMean) {
+  const Pareto d(1.0, 2.5);
+  EXPECT_NEAR(d.mean(), 2.5 / 1.5, 1e-12);
+  EXPECT_NEAR(d.ccdf(2.0), std::pow(0.5, 2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(d.cdf(0.5), 0.0);
+  EXPECT_THROW(Pareto(1.0, 0.9).mean(), ictm::Error);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_GE(d.sample(rng), 1.0);
+}
+
+TEST(NormalCdfFn, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(DiscreteSampling, RespectsWeights) {
+  Rng rng(6);
+  const std::vector<double> weights{1.0, 3.0, 0.0, 6.0};
+  DiscreteSampler sampler(weights);
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_NEAR(counts[0] / double(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / double(n), 0.3, 0.01);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[3] / double(n), 0.6, 0.01);
+  EXPECT_NEAR(sampler.probability(1), 0.3, 1e-12);
+  EXPECT_THROW(DiscreteSampler({0.0, 0.0}), ictm::Error);
+  EXPECT_THROW(SampleDiscrete(rng, {}), ictm::Error);
+}
+
+TEST(FitLognormal, RecoversParameters) {
+  const Lognormal truth(-4.3, 1.7);
+  Rng rng(7);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = truth.sample(rng);
+  const Lognormal fit = FitLognormalMle(xs);
+  EXPECT_NEAR(fit.mu(), -4.3, 0.05);
+  EXPECT_NEAR(fit.sigma(), 1.7, 0.05);
+  EXPECT_THROW(FitLognormalMle({1.0, -1.0}), ictm::Error);
+}
+
+TEST(FitExponential, RecoversRate) {
+  const Exponential truth(0.25);
+  Rng rng(8);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = truth.sample(rng);
+  EXPECT_NEAR(FitExponentialMle(xs).lambda(), 0.25, 0.01);
+}
+
+TEST(Fitting, LognormalWinsOnLognormalData) {
+  // The Fig. 7 comparison: on lognormal samples the lognormal fit must
+  // dominate the exponential on likelihood, KS and log-CCDF MSE.
+  const Lognormal truth(-4.3, 1.7);
+  Rng rng(9);
+  std::vector<double> xs(500);
+  for (double& x : xs) x = truth.sample(rng);
+  const Lognormal lnFit = FitLognormalMle(xs);
+  const Exponential expFit = FitExponentialMle(xs);
+  EXPECT_GT(LogLikelihood(lnFit, xs), LogLikelihood(expFit, xs));
+  EXPECT_LT(KsStatistic(xs, lnFit), KsStatistic(xs, expFit));
+  EXPECT_LT(LogCcdfMse(xs, lnFit), LogCcdfMse(xs, expFit));
+}
+
+TEST(Fitting, ExponentialWinsOnExponentialData) {
+  const Exponential truth(1.0);
+  Rng rng(10);
+  std::vector<double> xs(2000);
+  for (double& x : xs) x = truth.sample(rng);
+  EXPECT_LT(KsStatistic(xs, FitExponentialMle(xs)),
+            KsStatistic(xs, FitLognormalMle(xs)) + 0.05);
+}
+
+TEST(Summary, BasicMoments) {
+  const Summary s = Summarize({1, 2, 3, 4});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.sum, 10.0);
+  EXPECT_NEAR(s.variance, 5.0 / 3.0, 1e-12);
+  EXPECT_THROW(Summarize({}), ictm::Error);
+}
+
+TEST(Quantiles, InterpolatedValues) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Median(xs), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(Quantile({1, 2}, 0.5), 1.5);
+  EXPECT_THROW(Quantile(xs, 1.5), ictm::Error);
+}
+
+TEST(Correlation, PerfectAndInverse) {
+  const std::vector<double> x{1, 2, 3, 4};
+  EXPECT_NEAR(PearsonCorrelation(x, {2, 4, 6, 8}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(x, {8, 6, 4, 2}), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, {5, 5, 5, 5}), 0.0);
+}
+
+TEST(Correlation, SpearmanRankInvariantToMonotoneTransform) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{1, 8, 27, 64, 125};  // x^3: monotone
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(Correlation, FractionalRanksHandleTies) {
+  const auto r = FractionalRanks({10, 20, 20, 30});
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Ccdf, MonotoneNonIncreasing) {
+  const auto ccdf = EmpiricalCcdf({3, 1, 2, 2, 5});
+  for (std::size_t i = 0; i + 1 < ccdf.size(); ++i) {
+    EXPECT_LT(ccdf[i].x, ccdf[i + 1].x);
+    EXPECT_GE(ccdf[i].prob, ccdf[i + 1].prob);
+  }
+  // Largest sample has CCDF 0 (P(X > max) = 0).
+  EXPECT_DOUBLE_EQ(ccdf.back().prob, 0.0);
+  // First point: P(X > min) = 1 - count(min)/n = 1 - 1/5.
+  EXPECT_NEAR(ccdf.front().prob, 0.8, 1e-12);
+}
+
+TEST(HistogramTest, CountsSumToSampleSize) {
+  const auto h = MakeHistogram({1, 2, 3, 4, 5, 5.0}, 4);
+  std::size_t total = 0;
+  for (auto c : h.counts) total += c;
+  EXPECT_EQ(total, 6u);
+  EXPECT_DOUBLE_EQ(h.lo, 1.0);
+  EXPECT_DOUBLE_EQ(h.hi, 5.0);
+  EXPECT_THROW(MakeHistogram({1.0}, 0), ictm::Error);
+}
+
+}  // namespace
+}  // namespace ictm::stats

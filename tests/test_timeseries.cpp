@@ -1,0 +1,165 @@
+// Tests for diurnal profiles and the cyclo-stationary activity model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "timeseries/cyclostationary.hpp"
+#include "timeseries/diurnal.hpp"
+#include "test_util.hpp"
+
+namespace ictm::timeseries {
+namespace {
+
+TEST(Diurnal, ValuesPositiveAndBounded) {
+  const DiurnalProfile p;
+  for (std::size_t t = 0; t < p.binsPerDay * 7; ++t) {
+    const double v = ProfileValue(p, t);
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+}
+
+TEST(Diurnal, PeaksNearConfiguredHour) {
+  DiurnalProfile p;
+  p.peakHour = 15.0;
+  p.secondHarmonic = 0.0;
+  // Scan Monday; the max must fall within an hour of 15:00.
+  double best = -1.0;
+  std::size_t bestT = 0;
+  for (std::size_t t = 0; t < p.binsPerDay; ++t) {
+    const double v = ProfileValue(p, t);
+    if (v > best) {
+      best = v;
+      bestT = t;
+    }
+  }
+  const double peakHourSeen =
+      24.0 * double(bestT) / double(p.binsPerDay);
+  EXPECT_NEAR(peakHourSeen, 15.0, 1.0);
+}
+
+TEST(Diurnal, WeekendAttenuated) {
+  DiurnalProfile p;
+  p.weekendFactor = 0.5;
+  const auto xs = GenerateProfile(p, p.binsPerDay * 7);
+  const double ratio = WeekendWeekdayRatio(xs, p.binsPerDay);
+  EXPECT_NEAR(ratio, 0.5, 0.05);
+}
+
+TEST(Diurnal, DailyPeriodicityExact) {
+  const DiurnalProfile p;
+  // Within the same week-part, the profile repeats every day.
+  for (std::size_t t = 0; t < p.binsPerDay; ++t) {
+    EXPECT_DOUBLE_EQ(ProfileValue(p, t),
+                     ProfileValue(p, t + p.binsPerDay));
+  }
+}
+
+TEST(Diurnal, InvalidParametersThrow) {
+  DiurnalProfile p;
+  p.nightFloor = 0.0;
+  EXPECT_THROW(ProfileValue(p, 0), ictm::Error);
+  p = DiurnalProfile{};
+  p.binsPerDay = 0;
+  EXPECT_THROW(ProfileValue(p, 0), ictm::Error);
+  p = DiurnalProfile{};
+  p.weekendFactor = 1.5;
+  EXPECT_THROW(ProfileValue(p, 0), ictm::Error);
+}
+
+TEST(Autocorr, LagZeroIsOne) {
+  const std::vector<double> xs{1, 3, 2, 5, 4};
+  EXPECT_DOUBLE_EQ(Autocorrelation(xs, 0), 1.0);
+}
+
+TEST(Autocorr, DetectsSinePeriod) {
+  std::vector<double> xs(400);
+  for (std::size_t t = 0; t < xs.size(); ++t) {
+    xs[t] = std::sin(2.0 * M_PI * double(t) / 40.0);
+  }
+  EXPECT_EQ(DominantPeriod(xs, 20, 60), 40u);
+  EXPECT_THROW(DominantPeriod(xs, 0, 10), ictm::Error);
+}
+
+TEST(Autocorr, ConstantSeriesZeroAtPositiveLag) {
+  const std::vector<double> xs(50, 3.0);
+  EXPECT_DOUBLE_EQ(Autocorrelation(xs, 5), 0.0);
+}
+
+TEST(Activity, SeriesNonNegativeAndReproducible) {
+  ActivityModel m;
+  m.profile.binsPerDay = 48;
+  stats::Rng rng1(11), rng2(11);
+  const auto a = GenerateActivitySeries(m, 48 * 7, rng1);
+  const auto b = GenerateActivitySeries(m, 48 * 7, rng2);
+  EXPECT_EQ(a, b);
+  for (double v : a) EXPECT_GE(v, 0.0);
+}
+
+TEST(Activity, DailyPeriodDetected) {
+  ActivityModel m;
+  m.profile.binsPerDay = 96;
+  m.noiseSigma = 0.05;
+  m.phaseJitterHours = 0.0;
+  stats::Rng rng(12);
+  const auto a = GenerateActivitySeries(m, 96 * 7, rng);
+  const std::size_t period = DominantPeriod(a, 48, 160);
+  EXPECT_NEAR(double(period), 96.0, 4.0);
+}
+
+TEST(Activity, WeekendDipPresent) {
+  ActivityModel m;
+  m.profile.binsPerDay = 48;
+  m.profile.weekendFactor = 0.5;
+  m.noiseSigma = 0.02;
+  stats::Rng rng(13);
+  const auto a = GenerateActivitySeries(m, 48 * 7, rng);
+  EXPECT_LT(WeekendWeekdayRatio(a, 48), 0.75);
+}
+
+TEST(Activity, NoiseSigmaZeroIsDeterministicProfile) {
+  ActivityModel m;
+  m.profile.binsPerDay = 24;
+  m.noiseSigma = 0.0;
+  m.weeklyDriftSigma = 0.0;
+  m.phaseJitterHours = 0.0;
+  stats::Rng rng(14);
+  const auto a = GenerateActivitySeries(m, 24, rng);
+  for (std::size_t t = 0; t < 24; ++t) {
+    EXPECT_NEAR(a[t], ProfileValue(m.profile, t) * m.peakLevel, 1e-9);
+  }
+}
+
+TEST(Activity, InvalidConfigThrows) {
+  ActivityModel m;
+  m.peakLevel = 0.0;
+  stats::Rng rng(15);
+  EXPECT_THROW(GenerateActivitySeries(m, 10, rng), ictm::Error);
+  m = ActivityModel{};
+  m.noisePhi = 1.0;
+  EXPECT_THROW(GenerateActivitySeries(m, 10, rng), ictm::Error);
+}
+
+TEST(Ensemble, ShapesAndHeterogeneity) {
+  ActivityModel m;
+  m.profile.binsPerDay = 24;
+  stats::Rng rng(16);
+  const auto ens = GenerateActivityEnsemble(12, 24 * 7, m, 1.0, rng);
+  ASSERT_EQ(ens.size(), 12u);
+  for (const auto& s : ens) EXPECT_EQ(s.size(), std::size_t(24 * 7));
+  // Peak spread: with sigma 1.0 the largest mean should clearly exceed
+  // the smallest.
+  double lo = 1e300, hi = 0.0;
+  for (const auto& s : ens) {
+    double mean = 0.0;
+    for (double v : s) mean += v;
+    mean /= double(s.size());
+    lo = std::min(lo, mean);
+    hi = std::max(hi, mean);
+  }
+  EXPECT_GT(hi / lo, 2.0);
+  EXPECT_THROW(GenerateActivityEnsemble(0, 10, m, 1.0, rng), ictm::Error);
+}
+
+}  // namespace
+}  // namespace ictm::timeseries

@@ -1,0 +1,59 @@
+// Shared helpers for the ictm test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.hpp"
+#include "stats/rng.hpp"
+#include "traffic/tm_series.hpp"
+
+namespace ictm::test {
+
+/// Random matrix with entries uniform in [lo, hi).
+inline linalg::Matrix RandomMatrix(std::size_t rows, std::size_t cols,
+                                   stats::Rng& rng, double lo = -1.0,
+                                   double hi = 1.0) {
+  linalg::Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.uniform(lo, hi);
+  return m;
+}
+
+/// Random vector with entries uniform in [lo, hi).
+inline linalg::Vector RandomVector(std::size_t n, stats::Rng& rng,
+                                   double lo = -1.0, double hi = 1.0) {
+  linalg::Vector v(n);
+  for (double& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+/// Random strictly-positive vector.
+inline linalg::Vector RandomPositiveVector(std::size_t n, stats::Rng& rng,
+                                           double lo = 0.1,
+                                           double hi = 2.0) {
+  return RandomVector(n, rng, lo, hi);
+}
+
+/// Asserts two matrices agree elementwise within tol, with a readable
+/// failure message.
+inline void ExpectMatrixNear(const linalg::Matrix& a,
+                             const linalg::Matrix& b, double tol) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_NEAR(a(r, c), b(r, c), tol)
+          << "mismatch at (" << r << ", " << c << ")";
+    }
+  }
+}
+
+inline void ExpectVectorNear(const linalg::Vector& a,
+                             const linalg::Vector& b, double tol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], tol) << "mismatch at index " << i;
+  }
+}
+
+}  // namespace ictm::test

@@ -1,0 +1,152 @@
+// ictm — command-line front end for the library.
+//
+// Subcommands:
+//   synthesize  generate a synthetic TM series (Sec. 5.5 recipe) to CSV
+//   fit         fit the stable-fP IC model to a TM CSV, print parameters
+//   gravity     gravity reconstruction error of a TM CSV
+//   prior       build a stable-fP prior for a TM CSV from its marginals
+//               (given f and a preference file) and report its accuracy
+//   fmeasure    simulate a packet trace pair and measure f (Sec. 5.2)
+//
+// All matrices use the CSV format of traffic/io.hpp.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "conngen/fmeasure.hpp"
+#include "conngen/packet_trace.hpp"
+#include "core/fit.hpp"
+#include "core/gravity.hpp"
+#include "core/metrics.hpp"
+#include "core/priors.hpp"
+#include "core/synthesis.hpp"
+#include "traffic/io.hpp"
+
+using namespace ictm;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ictm synthesize <out.csv> [nodes] [bins] [f] [seed]\n"
+               "  ictm fit <tm.csv>\n"
+               "  ictm gravity <tm.csv>\n"
+               "  ictm prior <tm.csv> <f>\n"
+               "  ictm fmeasure [durationSec] [connPerSec] [seed]\n");
+  return 2;
+}
+
+double ArgOr(int argc, char** argv, int idx, double fallback) {
+  return argc > idx ? std::stod(argv[idx]) : fallback;
+}
+
+int CmdSynthesize(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  core::SynthesisConfig cfg;
+  cfg.nodes = static_cast<std::size_t>(ArgOr(argc, argv, 3, 22));
+  cfg.bins = static_cast<std::size_t>(ArgOr(argc, argv, 4, 2016));
+  cfg.f = ArgOr(argc, argv, 5, 0.25);
+  cfg.activityModel.profile.binsPerDay = std::max<std::size_t>(
+      1, cfg.bins >= 7 ? cfg.bins / 7 : cfg.bins);
+  stats::Rng rng(
+      static_cast<std::uint64_t>(ArgOr(argc, argv, 6, 42)));
+  const core::SyntheticTm synth = core::GenerateSyntheticTm(cfg, rng);
+  traffic::WriteCsvFile(argv[2], synth.series);
+  std::printf("wrote %zu bins x %zu nodes to %s (f=%.3f)\n", cfg.bins,
+              cfg.nodes, argv[2], cfg.f);
+  std::printf("preference:");
+  for (double p : synth.preference) std::printf(" %.4f", p);
+  std::printf("\n");
+  return 0;
+}
+
+int CmdFit(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const auto series = traffic::ReadCsvFile(argv[2]);
+  std::printf("loaded %zu nodes x %zu bins\n", series.nodeCount(),
+              series.binCount());
+  const core::StableFPFit fit = core::FitStableFP(series);
+  std::printf("f = %.4f  (sweeps %zu, converged %d)\n", fit.f,
+              fit.sweeps, int(fit.converged));
+  std::printf("objective sum RelL2 = %.4f (mean %.4f per bin)\n",
+              fit.objective(),
+              fit.objective() / double(series.binCount()));
+  std::printf("preference:");
+  for (double p : fit.preference) std::printf(" %.4f", p);
+  std::printf("\n");
+  const auto grav = core::GravityPredictSeries(series);
+  const auto rec = core::ReconstructSeries(fit, series.binSeconds());
+  const auto icErr = core::RelL2TemporalSeries(series, rec);
+  const auto gErr = core::RelL2TemporalSeries(series, grav);
+  std::printf("mean RelL2: IC %.4f vs gravity %.4f (improvement "
+              "%.1f%%)\n",
+              core::Mean(icErr), core::Mean(gErr),
+              core::Mean(core::PercentImprovementSeries(gErr, icErr)));
+  return 0;
+}
+
+int CmdGravity(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const auto series = traffic::ReadCsvFile(argv[2]);
+  const auto grav = core::GravityPredictSeries(series);
+  const auto err = core::RelL2TemporalSeries(series, grav);
+  std::printf("gravity mean RelL2 over %zu bins: %.4f\n",
+              series.binCount(), core::Mean(err));
+  return 0;
+}
+
+int CmdPrior(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const auto series = traffic::ReadCsvFile(argv[2]);
+  const double f = std::stod(argv[3]);
+  const auto margs = core::ExtractMarginals(series);
+  const auto prior = core::StableFPrior(f, margs, series.binSeconds());
+  const auto err = core::RelL2TemporalSeries(series, prior);
+  std::printf("stable-f prior (f=%.3f) mean RelL2: %.4f\n", f,
+              core::Mean(err));
+  const auto grav = core::GravityPriorSeries(margs, series.binSeconds());
+  std::printf("gravity prior mean RelL2:           %.4f\n",
+              core::Mean(core::RelL2TemporalSeries(series, grav)));
+  return 0;
+}
+
+int CmdFMeasure(int argc, char** argv) {
+  conngen::TraceSimConfig cfg;
+  cfg.durationSec = ArgOr(argc, argv, 2, 3600.0);
+  cfg.connectionsPerSec = ArgOr(argc, argv, 3, 10.0);
+  stats::Rng rng(static_cast<std::uint64_t>(ArgOr(argc, argv, 4, 1)));
+  const auto trace = conngen::SimulatePacketTraces(cfg, rng);
+  const auto m = conngen::MeasureForwardFraction(trace);
+  std::printf("trace: %.0f s, %zu + %zu packets, unknown bytes %.2f%%\n",
+              trace.durationSec, trace.aToB.size(), trace.bToA.size(),
+              100.0 * m.unknownByteFraction);
+  std::printf("f(A->B) mean %.4f, f(B->A) mean %.4f (mix expects "
+              "%.4f)\n",
+              conngen::MeanFiniteF(m.fAB), conngen::MeanFiniteF(m.fBA),
+              cfg.mix.expectedForwardFraction());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  try {
+    if (std::strcmp(argv[1], "synthesize") == 0)
+      return CmdSynthesize(argc, argv);
+    if (std::strcmp(argv[1], "fit") == 0) return CmdFit(argc, argv);
+    if (std::strcmp(argv[1], "gravity") == 0)
+      return CmdGravity(argc, argv);
+    if (std::strcmp(argv[1], "prior") == 0) return CmdPrior(argc, argv);
+    if (std::strcmp(argv[1], "fmeasure") == 0)
+      return CmdFMeasure(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return Usage();
+}
