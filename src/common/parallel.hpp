@@ -1,0 +1,97 @@
+// Minimal thread fan-out for embarrassingly parallel loops.
+//
+// The estimation hot path processes thousands of independent time bins;
+// ParallelFor partitions the index range into contiguous chunks, one
+// per worker, so results land in disjoint output slots and the
+// computation is bit-identical for any thread count.  No pool is kept
+// alive between calls — the loops here run long enough (many
+// milliseconds) that thread start-up cost is noise.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <system_error>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ictm {
+
+/// Maps a requested thread count to an actual one: 0 means "all
+/// hardware threads"; anything else is taken literally (capped at the
+/// iteration count by ParallelFor).
+inline std::size_t ResolveThreadCount(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+/// Splits [begin, end) into one contiguous chunk per worker (0 = all
+/// hardware threads) and runs rangeFn(lo, hi) on each — workers that
+/// need per-thread scratch set it up once per chunk.  A loop whose
+/// iterations touch disjoint state produces the same result for every
+/// thread count.  The first exception thrown by any worker is rethrown
+/// on the calling thread after all workers join.
+template <typename RangeFn>
+void ParallelForRanges(std::size_t begin, std::size_t end,
+                       std::size_t threads, RangeFn&& rangeFn) {
+  if (end <= begin) return;
+  const std::size_t count = end - begin;
+  std::size_t workers = ResolveThreadCount(threads);
+  if (workers > count) workers = count;
+  if (workers <= 1) {
+    rangeFn(begin, end);
+    return;
+  }
+
+  std::exception_ptr firstError;
+  std::mutex errorMutex;
+  auto runChunk = [&](std::size_t lo, std::size_t hi) {
+    try {
+      rangeFn(lo, hi);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(errorMutex);
+      if (!firstError) firstError = std::current_exception();
+    }
+  };
+
+  // Spread the remainder over the first chunks so sizes differ by at
+  // most one.
+  const std::size_t base = count / workers;
+  const std::size_t extra = count % workers;
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  std::size_t lo = begin;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t hi = lo + base + (w < extra ? 1 : 0);
+    if (w + 1 == workers) {
+      runChunk(lo, hi);  // run the last chunk on the calling thread
+    } else {
+      try {
+        pool.emplace_back(runChunk, lo, hi);
+      } catch (const std::system_error&) {
+        // Thread limit hit (huge requested count): degrade to running
+        // this chunk inline rather than unwinding past joinable
+        // threads, which would std::terminate.
+        runChunk(lo, hi);
+      }
+    }
+    lo = hi;
+  }
+  for (std::thread& t : pool) t.join();
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+/// Runs fn(i) for every i in [begin, end), fanned out as one chunk per
+/// worker via ParallelForRanges.
+template <typename Fn>
+void ParallelFor(std::size_t begin, std::size_t end, std::size_t threads,
+                 Fn&& fn) {
+  ParallelForRanges(begin, end, threads,
+                    [&](std::size_t lo, std::size_t hi) {
+                      for (std::size_t i = lo; i < hi; ++i) fn(i);
+                    });
+}
+
+}  // namespace ictm

@@ -3,11 +3,181 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.hpp"
 #include "linalg/lsq.hpp"
 #include "topology/routing.hpp"
 #include "traffic/tm_series.hpp"
 
 namespace ictm::core {
+
+namespace {
+
+// Core IPF loop on a raw row-major n x n buffer, so series estimation
+// can scale bins in place without a Matrix round-trip per bin.
+// Preconditions (square shape, non-negative targets) are checked by
+// the callers.
+void IpfInPlace(double* tm, std::size_t n, const double* rowTargets,
+                const double* colTargets, std::size_t maxIterations,
+                double tolerance) {
+  // Seed structurally-zero rows/columns whose target is positive, so
+  // scaling has something to work with.
+  for (std::size_t i = 0; i < n; ++i) {
+    double* row = tm + i * n;
+    double rowSum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) rowSum += row[j];
+    if (rowSum == 0.0 && rowTargets[i] > 0.0) {
+      for (std::size_t j = 0; j < n; ++j)
+        row[j] = rowTargets[i] / static_cast<double>(n);
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    double colSum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) colSum += tm[i * n + j];
+    if (colSum == 0.0 && colTargets[j] > 0.0) {
+      for (std::size_t i = 0; i < n; ++i)
+        tm[i * n + j] += colTargets[j] / static_cast<double>(n);
+    }
+  }
+
+  for (std::size_t iter = 0; iter < maxIterations; ++iter) {
+    // Row scaling.
+    for (std::size_t i = 0; i < n; ++i) {
+      double* row = tm + i * n;
+      double rowSum = 0.0;
+      for (std::size_t j = 0; j < n; ++j) rowSum += row[j];
+      if (rowSum > 0.0) {
+        const double s = rowTargets[i] / rowSum;
+        for (std::size_t j = 0; j < n; ++j) row[j] *= s;
+      }
+    }
+    // Column scaling, tracking the worst mismatch before scaling rows
+    // again next round.
+    double worst = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      double colSum = 0.0;
+      for (std::size_t i = 0; i < n; ++i) colSum += tm[i * n + j];
+      if (colSum > 0.0) {
+        const double s = colTargets[j] / colSum;
+        for (std::size_t i = 0; i < n; ++i) tm[i * n + j] *= s;
+        const double scale = std::max(colTargets[j], 1.0);
+        worst = std::max(worst, std::fabs(colSum - colTargets[j]) / scale);
+      }
+    }
+    if (worst < tolerance) break;
+  }
+}
+
+// Augmented measurement operator A = [R; Q] in column-compressed form:
+// one column per OD pair holding that pair's few path links plus (with
+// marginal constraints) its ingress and egress rows.  Built once and
+// shared read-only by every bin worker.
+struct AugmentedSystem {
+  std::size_t n = 0;      // node count
+  std::size_t links = 0;  // routing-matrix rows
+  std::size_t rows = 0;   // links (+ 2n with marginal constraints)
+  linalg::CscMatrix a;    // rows x n²
+
+  AugmentedSystem(const linalg::CsrMatrix& routing, std::size_t nodes,
+                  bool marginals)
+      : n(nodes), links(routing.rows()) {
+    ICTM_REQUIRE(routing.cols() == n * n,
+                 "routing matrix column mismatch");
+    rows = marginals ? links + 2 * n : links;
+    std::vector<linalg::Triplet> entries;
+    entries.reserve(routing.nonZeros() + (marginals ? 2 * n * n : 0));
+    for (std::size_t r = 0; r < links; ++r) {
+      for (std::size_t k = routing.rowPtr()[r]; k < routing.rowPtr()[r + 1];
+           ++k) {
+        entries.push_back({r, routing.colIdx()[k], routing.values()[k]});
+      }
+    }
+    if (marginals) {
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          entries.push_back({links + i, i * n + j, 1.0});      // ingress row
+          entries.push_back({links + n + j, i * n + j, 1.0});  // egress row
+        }
+      }
+    }
+    a = linalg::CscMatrix::FromTriplets(rows, n * n, std::move(entries));
+  }
+};
+
+// Per-worker buffers reused across every bin the worker solves.
+struct BinScratch {
+  std::vector<double> d;  // rows: rhs, then the dual solution
+  std::vector<double> m;  // rows x rows: normal matrix, then its factor
+
+  explicit BinScratch(const AugmentedSystem& sys)
+      : d(sys.rows, 0.0), m(sys.rows * sys.rows, 0.0) {}
+};
+
+// One bin of the three-step pipeline (Sec. 6): prior-weighted
+// least-squares refinement of `priorBin` against the link loads (and
+// marginals), clamped non-negative, then IPF onto the marginals.
+// `priorBin`/`outBin` are row-major n x n buffers in FlattenTm order;
+// they may not alias.
+void SolveBin(const AugmentedSystem& sys, const double* linkLoads,
+              const double* priorBin, const double* ingress,
+              const double* egress, const EstimationOptions& options,
+              BinScratch& s, double* outBin) {
+  const std::size_t n = sys.n;
+  const std::size_t n2 = n * n;
+  const std::size_t rows = sys.rows;
+  for (std::size_t i = 0; i < n; ++i) {
+    ICTM_REQUIRE(ingress[i] >= 0.0, "negative row target");
+    ICTM_REQUIRE(egress[i] >= 0.0, "negative col target");
+  }
+
+  // Right-hand side y = [loads; ingress; egress] ...
+  double* d = s.d.data();
+  std::copy(linkLoads, linkLoads + sys.links, d);
+  if (rows > sys.links) {
+    std::copy(ingress, ingress + n, d + sys.links);
+    std::copy(egress, egress + n, d + sys.links + n);
+  }
+  // ... turned into the residual d = y - A xp.
+  const auto& colPtr = sys.a.colPtr();
+  const auto& rowIdx = sys.a.rowIdx();
+  const auto& values = sys.a.values();
+  for (std::size_t c = 0; c < n2; ++c) {
+    const double xp = priorBin[c];
+    if (xp == 0.0) continue;
+    for (std::size_t k = colPtr[c]; k < colPtr[c + 1]; ++k) {
+      d[rowIdx[k]] -= values[k] * xp;
+    }
+  }
+
+  // Normal matrix M = A W Aᵀ with W = diag(xp) (prior-weighted
+  // deviations, per tomogravity), plus a relative ridge.
+  linalg::WeightedGramInto(sys.a, priorBin, s.m.data());
+  double trace = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) trace += s.m[r * rows + r];
+  const double ridge =
+      std::max(trace, 1.0) * options.relativeRidge +
+      1e-30;  // keep strictly positive even for an all-zero prior
+  for (std::size_t r = 0; r < rows; ++r) s.m[r * rows + r] += ridge;
+
+  // Solve (M + ridge) z = d and push back: x = xp + W Aᵀ z.
+  linalg::CholeskySolveInPlace(s.m.data(), d, rows);
+  for (std::size_t c = 0; c < n2; ++c) {
+    const double xp = priorBin[c];
+    double x = xp;
+    if (xp > 0.0) {
+      double dot = 0.0;
+      for (std::size_t k = colPtr[c]; k < colPtr[c + 1]; ++k) {
+        dot += values[k] * d[rowIdx[k]];
+      }
+      x += xp * dot;
+    }
+    outBin[c] = std::max(x, 0.0);
+  }
+
+  IpfInPlace(outBin, n, ingress, egress, options.ipfIterations,
+             options.ipfTolerance);
+}
+
+}  // namespace
 
 linalg::Matrix Ipf(linalg::Matrix tm, const linalg::Vector& rowTargets,
                    const linalg::Vector& colTargets,
@@ -18,76 +188,12 @@ linalg::Matrix Ipf(linalg::Matrix tm, const linalg::Vector& rowTargets,
                "target length mismatch");
   for (double v : rowTargets) ICTM_REQUIRE(v >= 0.0, "negative row target");
   for (double v : colTargets) ICTM_REQUIRE(v >= 0.0, "negative col target");
-
-  // Seed structurally-zero rows/columns whose target is positive, so
-  // scaling has something to work with.
-  for (std::size_t i = 0; i < n; ++i) {
-    double rowSum = 0.0;
-    for (std::size_t j = 0; j < n; ++j) rowSum += tm(i, j);
-    if (rowSum == 0.0 && rowTargets[i] > 0.0) {
-      for (std::size_t j = 0; j < n; ++j)
-        tm(i, j) = rowTargets[i] / static_cast<double>(n);
-    }
-  }
-  for (std::size_t j = 0; j < n; ++j) {
-    double colSum = 0.0;
-    for (std::size_t i = 0; i < n; ++i) colSum += tm(i, j);
-    if (colSum == 0.0 && colTargets[j] > 0.0) {
-      for (std::size_t i = 0; i < n; ++i)
-        tm(i, j) += colTargets[j] / static_cast<double>(n);
-    }
-  }
-
-  for (std::size_t iter = 0; iter < maxIterations; ++iter) {
-    // Row scaling.
-    for (std::size_t i = 0; i < n; ++i) {
-      double rowSum = 0.0;
-      for (std::size_t j = 0; j < n; ++j) rowSum += tm(i, j);
-      if (rowSum > 0.0) {
-        const double s = rowTargets[i] / rowSum;
-        for (std::size_t j = 0; j < n; ++j) tm(i, j) *= s;
-      }
-    }
-    // Column scaling, tracking the worst mismatch before scaling rows
-    // again next round.
-    double worst = 0.0;
-    for (std::size_t j = 0; j < n; ++j) {
-      double colSum = 0.0;
-      for (std::size_t i = 0; i < n; ++i) colSum += tm(i, j);
-      if (colSum > 0.0) {
-        const double s = colTargets[j] / colSum;
-        for (std::size_t i = 0; i < n; ++i) tm(i, j) *= s;
-        const double scale = std::max(colTargets[j], 1.0);
-        worst = std::max(worst, std::fabs(colSum - colTargets[j]) / scale);
-      }
-    }
-    if (worst < tolerance) break;
-  }
+  IpfInPlace(tm.data().data(), n, rowTargets.data(), colTargets.data(),
+             maxIterations, tolerance);
   return tm;
 }
 
-namespace {
-
-// Sparse column view of a routing (or augmented) matrix: for each
-// column, the list of (row, value) non-zeros.  Link-path columns have
-// only a handful of entries, so this turns the dense normal-equation
-// build into a near-linear pass.
-struct SparseColumns {
-  std::vector<std::vector<std::pair<std::size_t, double>>> cols;
-
-  explicit SparseColumns(const linalg::Matrix& m) : cols(m.cols()) {
-    for (std::size_t r = 0; r < m.rows(); ++r) {
-      for (std::size_t c = 0; c < m.cols(); ++c) {
-        const double v = m(r, c);
-        if (v != 0.0) cols[c].emplace_back(r, v);
-      }
-    }
-  }
-};
-
-}  // namespace
-
-linalg::Matrix EstimateTmBin(const linalg::Matrix& routing,
+linalg::Matrix EstimateTmBin(const linalg::CsrMatrix& routing,
                              const linalg::Vector& linkLoads,
                              const linalg::Matrix& prior,
                              const linalg::Vector& ingress,
@@ -101,82 +207,26 @@ linalg::Matrix EstimateTmBin(const linalg::Matrix& routing,
   ICTM_REQUIRE(ingress.size() == n && egress.size() == n,
                "marginal length mismatch");
 
-  // Assemble the (optionally marginal-augmented) system.
-  const std::size_t links = routing.rows();
-  const std::size_t rows =
-      options.useMarginalConstraints ? links + 2 * n : links;
-  linalg::Matrix system(rows, n * n, 0.0);
-  linalg::Vector y(rows, 0.0);
-  for (std::size_t r = 0; r < links; ++r) {
-    for (std::size_t c = 0; c < n * n; ++c) system(r, c) = routing(r, c);
-    y[r] = linkLoads[r];
-  }
-  if (options.useMarginalConstraints) {
-    const linalg::Matrix q = traffic::BuildMarginalOperator(n);
-    for (std::size_t r = 0; r < 2 * n; ++r)
-      for (std::size_t c = 0; c < n * n; ++c)
-        system(links + r, c) = q(r, c);
-    for (std::size_t i = 0; i < n; ++i) {
-      y[links + i] = ingress[i];
-      y[links + n + i] = egress[i];
-    }
-  }
+  const AugmentedSystem sys(routing, n, options.useMarginalConstraints);
+  BinScratch scratch(sys);
+  linalg::Matrix out(n, n);
+  SolveBin(sys, linkLoads.data(), prior.data().data(), ingress.data(),
+           egress.data(), options, scratch, out.data().data());
+  return out;
+}
 
-  const SparseColumns sparse(system);
-  const linalg::Vector xp = topology::FlattenTm(prior);
-
-  // Residual d = y - R xp.
-  linalg::Vector d = y;
-  for (std::size_t c = 0; c < n * n; ++c) {
-    if (xp[c] == 0.0) continue;
-    for (const auto& [r, v] : sparse.cols[c]) d[r] -= v * xp[c];
-  }
-
-  // Normal matrix M = R W R^T with W = diag(xp) (prior-weighted
-  // deviations, per tomogravity), built column-by-column.
-  linalg::Matrix m(rows, rows, 0.0);
-  for (std::size_t c = 0; c < n * n; ++c) {
-    if (xp[c] <= 0.0) continue;
-    const auto& nz = sparse.cols[c];
-    for (const auto& [r1, v1] : nz) {
-      for (const auto& [r2, v2] : nz) {
-        m(r1, r2) += xp[c] * v1 * v2;
-      }
-    }
-  }
-  double trace = 0.0;
-  for (std::size_t r = 0; r < rows; ++r) trace += m(r, r);
-  const double ridge =
-      std::max(trace, 1.0) * options.relativeRidge +
-      1e-30;  // keep strictly positive even for an all-zero prior
-  for (std::size_t r = 0; r < rows; ++r) m(r, r) += ridge;
-
-  // Solve (M + ridge) z = d and push back: x = xp + W R^T z.
-  const linalg::Matrix u = linalg::CholeskyUpper(m);
-  const linalg::Vector w1 = linalg::ForwardSubstituteTranspose(u, d);
-  // Back substitution U z = w1.
-  linalg::Vector z(rows, 0.0);
-  for (std::size_t ii = rows; ii-- > 0;) {
-    double acc = w1[ii];
-    for (std::size_t j = ii + 1; j < rows; ++j) acc -= u(ii, j) * z[j];
-    z[ii] = acc / u(ii, ii);
-  }
-
-  linalg::Vector x = xp;
-  for (std::size_t c = 0; c < n * n; ++c) {
-    if (xp[c] <= 0.0) continue;
-    double dot = 0.0;
-    for (const auto& [r, v] : sparse.cols[c]) dot += v * z[r];
-    x[c] += xp[c] * dot;
-  }
-  for (double& xi : x) xi = std::max(xi, 0.0);
-
-  return Ipf(topology::UnflattenTm(x, n), ingress, egress,
-             options.ipfIterations, options.ipfTolerance);
+linalg::Matrix EstimateTmBin(const linalg::Matrix& routing,
+                             const linalg::Vector& linkLoads,
+                             const linalg::Matrix& prior,
+                             const linalg::Vector& ingress,
+                             const linalg::Vector& egress,
+                             const EstimationOptions& options) {
+  return EstimateTmBin(linalg::CsrMatrix::FromDense(routing), linkLoads,
+                       prior, ingress, egress, options);
 }
 
 traffic::TrafficMatrixSeries EstimateSeries(
-    const linalg::Matrix& routing,
+    const linalg::CsrMatrix& routing,
     const traffic::TrafficMatrixSeries& truth,
     const traffic::TrafficMatrixSeries& priors,
     const EstimationOptions& options) {
@@ -184,17 +234,46 @@ traffic::TrafficMatrixSeries EstimateSeries(
                    truth.binCount() == priors.binCount(),
                "truth/prior series shape mismatch");
   const std::size_t n = truth.nodeCount();
-  traffic::TrafficMatrixSeries out(n, truth.binCount(),
-                                   truth.binSeconds());
-  for (std::size_t t = 0; t < truth.binCount(); ++t) {
-    const linalg::Matrix truthBin = truth.bin(t);
-    const linalg::Vector loads =
-        topology::ComputeLinkLoads(routing, truthBin);
-    out.setBin(t, EstimateTmBin(routing, loads, priors.bin(t),
-                                truth.ingress(t), truth.egress(t),
-                                options));
-  }
+  const std::size_t bins = truth.binCount();
+  const AugmentedSystem sys(routing, n, options.useMarginalConstraints);
+  traffic::TrafficMatrixSeries out(n, bins, truth.binSeconds());
+
+  // Each worker takes a contiguous run of bins and reuses one scratch
+  // set; bins write disjoint slices of `out`, so any thread count
+  // produces bit-identical estimates.
+  ParallelForRanges(
+      std::size_t{0}, bins, options.threads,
+      [&](std::size_t lo, std::size_t hi) {
+        BinScratch scratch(sys);
+        std::vector<double> loads(sys.links, 0.0);
+        std::vector<double> ingress(n, 0.0);
+        std::vector<double> egress(n, 0.0);
+        for (std::size_t t = lo; t < hi; ++t) {
+          const double* truthBin = truth.binData(t);
+          routing.MultiplyInto(truthBin, loads.data());
+          std::fill(ingress.begin(), ingress.end(), 0.0);
+          std::fill(egress.begin(), egress.end(), 0.0);
+          for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+              const double v = truthBin[i * n + j];
+              ingress[i] += v;
+              egress[j] += v;
+            }
+          }
+          SolveBin(sys, loads.data(), priors.binData(t), ingress.data(),
+                   egress.data(), options, scratch, out.binData(t));
+        }
+      });
   return out;
+}
+
+traffic::TrafficMatrixSeries EstimateSeries(
+    const linalg::Matrix& routing,
+    const traffic::TrafficMatrixSeries& truth,
+    const traffic::TrafficMatrixSeries& priors,
+    const EstimationOptions& options) {
+  return EstimateSeries(linalg::CsrMatrix::FromDense(routing), truth,
+                        priors, options);
 }
 
 }  // namespace ictm::core

@@ -10,6 +10,7 @@
 
 #include "core/priors.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
 #include "traffic/tm_series.hpp"
 
 namespace ictm::core {
@@ -25,6 +26,10 @@ struct EstimationOptions {
   /// IPF settings for step 3.
   std::size_t ipfIterations = 100;
   double ipfTolerance = 1e-9;
+  /// Worker threads for EstimateSeries' per-bin fan-out (bins are
+  /// independent, so results are bit-identical for any value); 0 means
+  /// all hardware threads.
+  std::size_t threads = 1;
 };
 
 /// Iterative proportional fitting: rescales rows and columns of `tm`
@@ -37,7 +42,15 @@ linalg::Matrix Ipf(linalg::Matrix tm, const linalg::Vector& rowTargets,
 
 /// One bin of tomogravity refinement: returns the estimate
 ///   x = xp + W R^T (R W R^T + ridge)^-1 (y - R xp),   W = diag(xp),
-/// clamped non-negative and IPF'd to the marginals.
+/// clamped non-negative and IPF'd to the marginals.  The sparse
+/// overload is the primary implementation; the dense one compresses
+/// `routing` first and produces identical results.
+linalg::Matrix EstimateTmBin(const linalg::CsrMatrix& routing,
+                             const linalg::Vector& linkLoads,
+                             const linalg::Matrix& prior,
+                             const linalg::Vector& ingress,
+                             const linalg::Vector& egress,
+                             const EstimationOptions& options = {});
 linalg::Matrix EstimateTmBin(const linalg::Matrix& routing,
                              const linalg::Vector& linkLoads,
                              const linalg::Matrix& prior,
@@ -48,6 +61,15 @@ linalg::Matrix EstimateTmBin(const linalg::Matrix& routing,
 /// Full-series estimation: per bin, computes true link loads from
 /// `truth` via the routing matrix (simulating SNMP), runs the
 /// three-step pipeline with `priors`, and returns the estimated series.
+/// The augmented system is compressed once and shared by all bins, and
+/// bins fan out across `options.threads` workers; every thread count
+/// yields bit-identical estimates.  The dense overload compresses
+/// `routing` first and produces identical results.
+traffic::TrafficMatrixSeries EstimateSeries(
+    const linalg::CsrMatrix& routing,
+    const traffic::TrafficMatrixSeries& truth,
+    const traffic::TrafficMatrixSeries& priors,
+    const EstimationOptions& options = {});
 traffic::TrafficMatrixSeries EstimateSeries(
     const linalg::Matrix& routing,
     const traffic::TrafficMatrixSeries& truth,

@@ -74,6 +74,67 @@ Matrix CholeskyUpper(const Matrix& a) {
   return u;
 }
 
+void CholeskySolveInPlace(double* m, double* d, std::size_t n) {
+  // Factors the upper triangle in place (Uᵀ U = m) in right-looking
+  // form: the inner update — row i minus a multiple of row k, both
+  // contiguous — is a branch-free axpy the compiler vectorises,
+  // unlike the serial reductions of the textbook dot-product form.
+  // Rank-4 blocking fuses four pivot sweeps of the bandwidth-bound
+  // trailing submatrix into one pass.
+  std::size_t k = 0;
+  for (; k + 3 < n; k += 4) {
+    for (std::size_t kk = k; kk < k + 4; ++kk) {
+      double* __restrict ukRow = m + kk * n;
+      for (std::size_t p = k; p < kk; ++p) {
+        const double* __restrict up = m + p * n;
+        const double c = up[kk];
+        for (std::size_t j = kk; j < n; ++j) ukRow[j] -= c * up[j];
+      }
+      ICTM_REQUIRE(ukRow[kk] > 0.0,
+                   "matrix is not positive definite in Cholesky");
+      const double diag = std::sqrt(ukRow[kk]);
+      ukRow[kk] = diag;
+      const double inv = 1.0 / diag;
+      for (std::size_t j = kk + 1; j < n; ++j) ukRow[j] *= inv;
+    }
+    const double* __restrict u0 = m + k * n;
+    const double* __restrict u1 = m + (k + 1) * n;
+    const double* __restrict u2 = m + (k + 2) * n;
+    const double* __restrict u3 = m + (k + 3) * n;
+    for (std::size_t i = k + 4; i < n; ++i) {
+      const double a = u0[i], b = u1[i], c = u2[i], e = u3[i];
+      double* __restrict ui = m + i * n;
+      for (std::size_t j = i; j < n; ++j) {
+        ui[j] -= a * u0[j] + b * u1[j] + c * u2[j] + e * u3[j];
+      }
+    }
+  }
+  for (; k < n; ++k) {  // remainder rows (n mod 4)
+    double* __restrict uk = m + k * n;
+    ICTM_REQUIRE(uk[k] > 0.0, "matrix is not positive definite in Cholesky");
+    const double ukk = std::sqrt(uk[k]);
+    uk[k] = ukk;
+    const double inv = 1.0 / ukk;
+    for (std::size_t j = k + 1; j < n; ++j) uk[j] *= inv;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double uki = uk[i];
+      double* __restrict ui = m + i * n;
+      for (std::size_t j = i; j < n; ++j) ui[j] -= uki * uk[j];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {  // forward: Uᵀ y = d
+    double acc = d[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= m[j * n + i] * d[j];
+    d[i] = acc / m[i * n + i];
+  }
+  for (std::size_t i = n; i-- > 0;) {  // backward: U z = y
+    const double* ui = m + i * n;
+    double acc = d[i];
+    for (std::size_t j = i + 1; j < n; ++j) acc -= ui[j] * d[j];
+    d[i] = acc / ui[i];
+  }
+}
+
 Vector ForwardSubstituteTranspose(const Matrix& u, const Vector& b) {
   ICTM_REQUIRE(u.rows() == u.cols(), "triangular matrix must be square");
   ICTM_REQUIRE(b.size() == u.rows(), "rhs length mismatch");

@@ -31,4 +31,12 @@ Matrix CholeskyUpper(const Matrix& a);
 /// Solves U^T y = b by forward substitution for upper-triangular U.
 Vector ForwardSubstituteTranspose(const Matrix& u, const Vector& b);
 
+/// Solves m z = d for symmetric positive-definite `m` given as a
+/// row-major n x n buffer: factors the upper triangle in place
+/// (rank-4 blocked, nothing below the diagonal is read or written)
+/// and overwrites `d` with the solution.  This is the allocation-free
+/// hot-path variant of CholeskyUpper + substitution, used per bin by
+/// the TM estimation fan-out.
+void CholeskySolveInPlace(double* m, double* d, std::size_t n);
+
 }  // namespace ictm::linalg

@@ -1,0 +1,244 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+
+namespace ictm::linalg {
+
+namespace {
+
+// Shared assembly for both compressed layouts: sorts (major, minor)
+// pairs, sums duplicates, drops exact zeros, and fills the three
+// compressed arrays.  `major(t)`/`minor(t)` select which triplet field
+// is the compressed dimension.
+template <typename MajorFn, typename MinorFn>
+void Compress(std::size_t majorCount, std::size_t majorBound,
+              std::size_t minorBound, std::vector<Triplet>& entries,
+              MajorFn major, MinorFn minor, std::vector<std::size_t>& ptr,
+              std::vector<std::size_t>& idx, std::vector<double>& values) {
+  for (const Triplet& t : entries) {
+    ICTM_REQUIRE(major(t) < majorBound && minor(t) < minorBound,
+                 "triplet index out of range");
+  }
+  std::sort(entries.begin(), entries.end(),
+            [&](const Triplet& a, const Triplet& b) {
+              if (major(a) != major(b)) return major(a) < major(b);
+              return minor(a) < minor(b);
+            });
+
+  ptr.assign(majorCount + 1, 0);
+  idx.clear();
+  values.clear();
+  idx.reserve(entries.size());
+  values.reserve(entries.size());
+  std::size_t i = 0;
+  for (std::size_t m = 0; m < majorCount; ++m) {
+    while (i < entries.size() && major(entries[i]) == m) {
+      const std::size_t mi = minor(entries[i]);
+      double acc = 0.0;
+      while (i < entries.size() && major(entries[i]) == m &&
+             minor(entries[i]) == mi) {
+        acc += entries[i].value;
+        ++i;
+      }
+      if (acc != 0.0) {
+        idx.push_back(mi);
+        values.push_back(acc);
+      }
+    }
+    ptr[m + 1] = idx.size();
+  }
+}
+
+}  // namespace
+
+// ---- CsrMatrix -------------------------------------------------------
+
+CsrMatrix CsrMatrix::FromDense(const Matrix& m) {
+  CsrMatrix out;
+  out.rows_ = m.rows();
+  out.cols_ = m.cols();
+  out.rowPtr_.assign(m.rows() + 1, 0);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      const double v = m(r, c);
+      if (v != 0.0) {
+        out.colIdx_.push_back(c);
+        out.values_.push_back(v);
+      }
+    }
+    out.rowPtr_[r + 1] = out.colIdx_.size();
+  }
+  return out;
+}
+
+CsrMatrix CsrMatrix::FromTriplets(std::size_t rows, std::size_t cols,
+                                  std::vector<Triplet> entries) {
+  CsrMatrix out;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  Compress(
+      rows, rows, cols, entries, [](const Triplet& t) { return t.row; },
+      [](const Triplet& t) { return t.col; }, out.rowPtr_, out.colIdx_,
+      out.values_);
+  return out;
+}
+
+Vector CsrMatrix::Multiply(const Vector& x) const {
+  ICTM_REQUIRE(x.size() == cols_, "SpMV dimension mismatch");
+  Vector y(rows_, 0.0);
+  MultiplyInto(x.data(), y.data());
+  return y;
+}
+
+void CsrMatrix::MultiplyInto(const double* x, double* y) const {
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+      acc += values_[k] * x[colIdx_[k]];
+    }
+    y[r] = acc;
+  }
+}
+
+Vector CsrMatrix::TransposeMultiply(const Vector& x) const {
+  ICTM_REQUIRE(x.size() == rows_, "SpMV dimension mismatch");
+  Vector y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+      y[colIdx_[k]] += values_[k] * xr;
+    }
+  }
+  return y;
+}
+
+Matrix CsrMatrix::ToDense() const {
+  Matrix m(rows_, cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+      m(r, colIdx_[k]) = values_[k];
+    }
+  }
+  return m;
+}
+
+// ---- CscMatrix -------------------------------------------------------
+
+CscMatrix CscMatrix::FromDense(const Matrix& m) {
+  CscMatrix out;
+  out.rows_ = m.rows();
+  out.cols_ = m.cols();
+  out.colPtr_.assign(m.cols() + 1, 0);
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      const double v = m(r, c);
+      if (v != 0.0) {
+        out.rowIdx_.push_back(r);
+        out.values_.push_back(v);
+      }
+    }
+    out.colPtr_[c + 1] = out.rowIdx_.size();
+  }
+  return out;
+}
+
+CscMatrix CscMatrix::FromCsr(const CsrMatrix& m) {
+  std::vector<Triplet> entries;
+  entries.reserve(m.nonZeros());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t k = m.rowPtr()[r]; k < m.rowPtr()[r + 1]; ++k) {
+      entries.push_back({r, m.colIdx()[k], m.values()[k]});
+    }
+  }
+  return FromTriplets(m.rows(), m.cols(), std::move(entries));
+}
+
+CscMatrix CscMatrix::FromTriplets(std::size_t rows, std::size_t cols,
+                                  std::vector<Triplet> entries) {
+  CscMatrix out;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  Compress(
+      cols, cols, rows, entries, [](const Triplet& t) { return t.col; },
+      [](const Triplet& t) { return t.row; }, out.colPtr_, out.rowIdx_,
+      out.values_);
+  return out;
+}
+
+Vector CscMatrix::Multiply(const Vector& x) const {
+  ICTM_REQUIRE(x.size() == cols_, "SpMV dimension mismatch");
+  Vector y(rows_, 0.0);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    const double xc = x[c];
+    if (xc == 0.0) continue;
+    for (std::size_t k = colPtr_[c]; k < colPtr_[c + 1]; ++k) {
+      y[rowIdx_[k]] += values_[k] * xc;
+    }
+  }
+  return y;
+}
+
+Vector CscMatrix::TransposeMultiply(const Vector& x) const {
+  ICTM_REQUIRE(x.size() == rows_, "SpMV dimension mismatch");
+  Vector y(cols_, 0.0);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    double acc = 0.0;
+    for (std::size_t k = colPtr_[c]; k < colPtr_[c + 1]; ++k) {
+      acc += values_[k] * x[rowIdx_[k]];
+    }
+    y[c] = acc;
+  }
+  return y;
+}
+
+Matrix CscMatrix::ToDense() const {
+  Matrix m(rows_, cols_, 0.0);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    for (std::size_t k = colPtr_[c]; k < colPtr_[c + 1]; ++k) {
+      m(rowIdx_[k], c) = values_[k];
+    }
+  }
+  return m;
+}
+
+// ---- kernels ---------------------------------------------------------
+
+Matrix WeightedGram(const CscMatrix& a, const Vector& w) {
+  ICTM_REQUIRE(w.size() == a.cols(), "weight length mismatch");
+  Matrix m(a.rows(), a.rows(), 0.0);
+  WeightedGramInto(a, w.data(), m.data().data());
+  // The kernel writes only the upper triangle; mirror it to honour
+  // this function's full-matrix contract.
+  for (std::size_t r = 1; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < r; ++c) m(r, c) = m(c, r);
+  }
+  return m;
+}
+
+void WeightedGramInto(const CscMatrix& a, const double* w, double* out) {
+  const std::size_t rows = a.rows();
+  std::fill(out, out + rows * rows, 0.0);
+  const auto& colPtr = a.colPtr();
+  const auto& rowIdx = a.rowIdx();
+  const auto& values = a.values();
+  // Row indices are strictly increasing within a column, so starting
+  // the inner sweep at k1 emits exactly the upper-triangle (row <=
+  // col) products — half the work, and all the downstream Cholesky
+  // reads.
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    const double wc = w[c];
+    if (wc <= 0.0) continue;
+    const std::size_t lo = colPtr[c];
+    const std::size_t hi = colPtr[c + 1];
+    for (std::size_t k1 = lo; k1 < hi; ++k1) {
+      const double wv1 = wc * values[k1];
+      double* row = out + rowIdx[k1] * rows;
+      for (std::size_t k2 = k1; k2 < hi; ++k2) {
+        row[rowIdx[k2]] += wv1 * values[k2];
+      }
+    }
+  }
+}
+
+}  // namespace ictm::linalg

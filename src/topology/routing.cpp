@@ -52,30 +52,51 @@ void AccumulateFractions(const Graph& g, const ShortestPaths& sp,
 
 linalg::Matrix BuildRoutingMatrix(const Graph& g,
                                   const RoutingOptions& options) {
+  return BuildRoutingCsr(g, options).ToDense();
+}
+
+linalg::CsrMatrix BuildRoutingCsr(const Graph& g,
+                                  const RoutingOptions& options) {
   const std::size_t n = g.nodeCount();
   ICTM_REQUIRE(n > 0, "routing matrix of empty graph");
   ICTM_REQUIRE(IsStronglyConnected(g),
                "graph must be strongly connected for routing");
-  linalg::Matrix r(g.linkCount(), n * n, 0.0);
+  std::vector<linalg::Triplet> entries;
+  entries.reserve(4 * n * n);  // a few links per OD pair
 
+  std::vector<double> linkFraction(g.linkCount(), 0.0);
   for (NodeId src = 0; src < n; ++src) {
     const ShortestPaths sp = ComputeShortestPaths(g, src);
     for (NodeId dst = 0; dst < n; ++dst) {
       if (src == dst) continue;  // intra-PoP traffic uses no backbone link
-      std::vector<double> linkFraction(g.linkCount(), 0.0);
+      std::fill(linkFraction.begin(), linkFraction.end(), 0.0);
       AccumulateFractions(g, sp, src, dst, options.ecmp, linkFraction);
       const std::size_t col = src * n + dst;
       for (LinkId lid = 0; lid < g.linkCount(); ++lid) {
-        if (linkFraction[lid] != 0.0) r(lid, col) = linkFraction[lid];
+        if (linkFraction[lid] != 0.0) {
+          entries.push_back({lid, col, linkFraction[lid]});
+        }
       }
     }
   }
-  return r;
+  return linalg::CsrMatrix::FromTriplets(g.linkCount(), n * n,
+                                         std::move(entries));
 }
 
 linalg::Vector ComputeLinkLoads(const linalg::Matrix& routing,
                                 const linalg::Matrix& tm) {
   return routing * FlattenTm(tm);
+}
+
+linalg::Vector ComputeLinkLoads(const linalg::CsrMatrix& routing,
+                                const linalg::Matrix& tm) {
+  ICTM_REQUIRE(tm.rows() == tm.cols(), "TM must be square");
+  ICTM_REQUIRE(routing.cols() == tm.rows() * tm.cols(),
+               "routing matrix column mismatch");
+  // Matrix storage is row-major, so tm.data() already is FlattenTm(tm).
+  linalg::Vector y(routing.rows(), 0.0);
+  routing.MultiplyInto(tm.data().data(), y.data());
+  return y;
 }
 
 linalg::Vector FlattenTm(const linalg::Matrix& tm) {

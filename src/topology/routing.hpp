@@ -7,6 +7,7 @@
 #pragma once
 
 #include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
 #include "topology/graph.hpp"
 
 namespace ictm::topology {
@@ -25,8 +26,16 @@ struct RoutingOptions {
 linalg::Matrix BuildRoutingMatrix(const Graph& g,
                                   const RoutingOptions& options = {});
 
+/// Same matrix emitted directly in compressed form — the natural
+/// representation: a column holds only the links on one OD pair's
+/// shortest path(s), so density is about (path length)/links.
+linalg::CsrMatrix BuildRoutingCsr(const Graph& g,
+                                  const RoutingOptions& options = {});
+
 /// Computes per-link loads Y = R x for a TM given as an n x n matrix.
 linalg::Vector ComputeLinkLoads(const linalg::Matrix& routing,
+                                const linalg::Matrix& tm);
+linalg::Vector ComputeLinkLoads(const linalg::CsrMatrix& routing,
                                 const linalg::Matrix& tm);
 
 /// Flattens an n x n TM into the x vector ordering used by

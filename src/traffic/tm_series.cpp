@@ -49,6 +49,16 @@ void TrafficMatrixSeries::setBin(std::size_t t, const linalg::Matrix& m) {
   }
 }
 
+const double* TrafficMatrixSeries::binData(std::size_t t) const {
+  ICTM_REQUIRE(t < bins_, "bin index out of range");
+  return data_.data() + t * nodes_ * nodes_;
+}
+
+double* TrafficMatrixSeries::binData(std::size_t t) {
+  ICTM_REQUIRE(t < bins_, "bin index out of range");
+  return data_.data() + t * nodes_ * nodes_;
+}
+
 linalg::Vector TrafficMatrixSeries::ingress(std::size_t t) const {
   ICTM_REQUIRE(t < bins_, "bin index out of range");
   linalg::Vector v(nodes_, 0.0);

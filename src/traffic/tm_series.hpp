@@ -41,6 +41,14 @@ class TrafficMatrixSeries {
   /// Overwrites one bin; m must be n x n with non-negative entries.
   void setBin(std::size_t t, const linalg::Matrix& m);
 
+  /// Raw view of one bin: n² contiguous doubles in row-major order —
+  /// exactly the topology::FlattenTm layout (x[i*n+j] = X_ij), so the
+  /// estimation hot path can feed bins to sparse kernels without
+  /// copying.  Mutable access bypasses the setBin non-negativity
+  /// check; callers must keep entries non-negative.
+  const double* binData(std::size_t t) const;
+  double* binData(std::size_t t);
+
   /// Ingress marginals X_i*(t) for one bin (length n).
   linalg::Vector ingress(std::size_t t) const;
   /// Egress marginals X_*j(t) for one bin (length n).
