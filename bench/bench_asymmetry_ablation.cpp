@@ -1,57 +1,10 @@
-// Sec. 5.6 ablation — routing asymmetry vs the simplified IC model.
+// Sec. 5.6 asymmetry ablation — thin wrapper over the registered scenario.
 //
-// 'Hot potato' routing makes a connection's reverse traffic exit at a
-// different node than the initiator's ingress, so f_ij != f_ji and the
-// single-f simplified model degrades.  The general IC model (per-pair
-// f_ij) remains exact in expectation.  This harness sweeps the
-// asymmetric traffic fraction and reports the fit error of the
-// simplified model and of gravity.
-#include <cstdio>
+// The experiment itself lives in src/scenario/ and is shared with
+// `ictm run asymmetry_ablation`; this binary exists so the per-figure
+// harnesses keep working.  Flags: [--tiny] [--threads N] [--seed S].
+#include "scenario/scenario.hpp"
 
-#include "bench_common.hpp"
-#include "core/general_fit.hpp"
-#include "core/gravity.hpp"
-#include "core/metrics.hpp"
-
-using namespace ictm;
-
-int main() {
-  bench::PrintHeader(
-      "Sec. 5.6 ablation — routing asymmetry vs the simplified IC model",
-      "the simplified (single-f) model degrades as hot-potato "
-      "asymmetry grows; the paper leaves the per-pair general IC model "
-      "to future work — implemented here, it recovers the lost fit "
-      "quality");
-
-  std::printf("%10s %14s %14s %14s %10s %12s\n", "asym frac",
-              "simplified", "general IC", "gravity", "fitted f",
-              "fitted asym");
-  for (double asym : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
-    dataset::DatasetConfig cfg = bench::BenchGeantConfig(91);
-    cfg.routingAsymmetry = asym;
-    cfg.netflowSampling = false;   // isolate the asymmetry effect
-    cfg.pairFJitterSigma = 0.3;    // mild jitter so hot-potato dominates
-    const dataset::Dataset d =
-        dataset::MakeSmallDataset(14, 336, 300.0, cfg);
-    const core::GeneralIcFit fit = core::FitGeneralIc(d.measured);
-    const auto grav = core::GravityPredictSeries(d.measured);
-    const double bins = double(d.measured.binCount());
-    // Mean off-diagonal fitted forward fraction.
-    double meanF = 0.0;
-    std::size_t cnt = 0;
-    const std::size_t n = fit.forwardFractions.rows();
-    for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t j = 0; j < n; ++j)
-        if (i != j) {
-          meanF += fit.forwardFractions(i, j);
-          ++cnt;
-        }
-    meanF /= double(cnt);
-    std::printf("%10.2f %14.4f %14.4f %14.4f %10.4f %12.4f\n", asym,
-                fit.simplifiedObjective / bins, fit.objective / bins,
-                core::Mean(core::RelL2TemporalSeries(d.measured, grav)),
-                meanF,
-                core::ForwardFractionAsymmetry(fit.forwardFractions));
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return ictm::scenario::RunScenarioMain("asymmetry_ablation", argc, argv);
 }

@@ -1,64 +1,10 @@
-// Sec. 5.1 degrees-of-freedom accounting — the paper's comparison of
-// model input counts for a dataset of n nodes over t bins:
-//   gravity        2nt - 1
-//   time-varying   3nt
-//   stable-f       2nt + 1
-//   stable-fP      nt + n + 1
-// printed for the paper's dataset shapes, plus an empirical check that
-// the DoF ordering predicts the fit-quality ordering on a common
-// dataset (more DoF => better or equal fit).
-#include <cstdio>
+// Sec. 5.1 DoF table — thin wrapper over the registered scenario.
+//
+// The experiment itself lives in src/scenario/ and is shared with
+// `ictm run dof_table`; this binary exists so the per-figure
+// harnesses keep working.  Flags: [--tiny] [--threads N] [--seed S].
+#include "scenario/scenario.hpp"
 
-#include "bench_common.hpp"
-#include "core/gravity.hpp"
-#include "core/ic_model.hpp"
-#include "core/metrics.hpp"
-
-using namespace ictm;
-
-int main() {
-  bench::PrintHeader(
-      "Sec. 5.1 — degrees-of-freedom table",
-      "stable-fP has about half the gravity model's inputs yet fits "
-      "better (Fig. 3); more-flexible IC variants fit at least as well");
-
-  std::printf("%-22s %12s %12s\n", "model", "Geant (22)", "Totem (23)");
-  const std::size_t tG = 2016, tT = 672;
-  using D = core::DegreesOfFreedom;
-  std::printf("%-22s %12zu %12zu\n", "gravity (2nt-1)",
-              D::Gravity(22, tG), D::Gravity(23, tT));
-  std::printf("%-22s %12zu %12zu\n", "time-varying IC (3nt)",
-              D::TimeVaryingIc(22, tG), D::TimeVaryingIc(23, tT));
-  std::printf("%-22s %12zu %12zu\n", "stable-f IC (2nt+1)",
-              D::StableFIc(22, tG), D::StableFIc(23, tT));
-  std::printf("%-22s %12zu %12zu\n", "stable-fP IC (nt+n+1)",
-              D::StableFPIc(22, tG), D::StableFPIc(23, tT));
-
-  // Empirical ordering check on a small shared dataset.
-  std::printf("\nempirical fit-quality ordering (mean RelL2, small "
-              "dataset):\n");
-  dataset::DatasetConfig cfg = bench::BenchGeantConfig(99);
-  const dataset::Dataset d =
-      dataset::MakeSmallDataset(10, 48, 300.0, cfg);
-  const auto stable = core::FitStableFP(d.measured);
-  core::FitOptions perBin;
-  perBin.gridPoints = 5;
-  perBin.gridStride = 1;
-  const auto varying = core::FitTimeVarying(d.measured, perBin);
-  const auto grav = core::GravityPredictSeries(d.measured);
-  const double bins = double(d.measured.binCount());
-  std::printf("  gravity:         %.4f   (DoF %zu)\n",
-              core::Mean(core::RelL2TemporalSeries(d.measured, grav)),
-              core::DegreesOfFreedom::Gravity(10, 48));
-  std::printf("  stable-fP IC:    %.4f   (DoF %zu)\n",
-              stable.objective() / bins,
-              core::DegreesOfFreedom::StableFPIc(10, 48));
-  std::printf("  time-varying IC: %.4f   (DoF %zu)\n",
-              varying.objective / bins,
-              core::DegreesOfFreedom::TimeVaryingIc(10, 48));
-  std::printf("\nstable-fP beats gravity with ~half the inputs; the "
-              "time-varying\nvariant (3x the inputs) improves the fit "
-              "only marginally further —\nthe stability assumptions "
-              "are cheap (the paper's Sec. 5 argument).\n");
-  return 0;
+int main(int argc, char** argv) {
+  return ictm::scenario::RunScenarioMain("dof_table", argc, argv);
 }

@@ -1,68 +1,10 @@
-// Fig. 11 — TM estimation improvement over the gravity prior when all
-// IC parameters are measured (fit on the same week, Sec. 6.1).
-// Paper: Géant improvement 10-20%, Totem 20-30%.
+// Fig. 11 estimation, measured prior — thin wrapper over the registered scenario.
 //
-// Pipeline per bin (identical for both priors): tomogravity
-// least-squares refinement against link loads from the canned
-// topology, then IPF onto the ingress/egress counts.
-#include <cstdio>
+// The experiment itself lives in src/scenario/ and is shared with
+// `ictm run fig11_est_measured`; this binary exists so the per-figure
+// harnesses keep working.  Flags: [--tiny] [--threads N] [--seed S].
+#include "scenario/scenario.hpp"
 
-#include "bench_common.hpp"
-#include "core/estimation.hpp"
-#include "core/gravity.hpp"
-#include "core/metrics.hpp"
-#include "core/priors.hpp"
-#include "topology/routing.hpp"
-#include "topology/topologies.hpp"
-
-using namespace ictm;
-
-namespace {
-
-void RunOne(const char* label, bool totem, std::uint64_t seed) {
-  const dataset::Dataset d =
-      totem ? dataset::MakeTotemLike(bench::BenchTotemConfig(seed))
-            : dataset::MakeGeantLike(bench::BenchGeantConfig(seed));
-  const topology::Graph g =
-      totem ? topology::MakeTotem23() : topology::MakeGeant22();
-  const linalg::Matrix routing = topology::BuildRoutingMatrix(g);
-
-  // As in the paper, the reference TM is the measured (netflow) one.
-  const traffic::TrafficMatrixSeries& ref = d.measured;
-
-  // Measured-parameter IC prior: fit on this same week (Sec. 6.1 is
-  // explicitly the best case / upper bound).
-  const core::StableFPFit fit = core::FitStableFP(ref);
-  const auto icPrior = core::ReconstructSeries(fit, d.binSeconds);
-  const auto gravPrior = core::GravityPredictSeries(ref);
-
-  const auto estIc = core::EstimateSeries(routing, ref, icPrior);
-  const auto estGrav = core::EstimateSeries(routing, ref, gravPrior);
-
-  const auto icErr = core::RelL2TemporalSeries(ref, estIc);
-  const auto gravErr = core::RelL2TemporalSeries(ref, estGrav);
-  const auto improvement =
-      core::PercentImprovementSeries(gravErr, icErr);
-
-  std::printf("\n--- %s (n=%zu, %zu bins, %zu links) ---\n", label,
-              ref.nodeCount(), ref.binCount(), routing.rows());
-  std::printf("fitted f = %.4f\n", fit.f);
-  bench::PrintSummaryLine("est err, gravity prior", gravErr);
-  bench::PrintSummaryLine("est err, IC prior", icErr);
-  bench::PrintSummaryLine("% improvement", improvement);
-  bench::PrintSeries("% improvement over time", improvement, 14);
-}
-
-}  // namespace
-
-int main() {
-  bench::PrintHeader(
-      "Fig. 11 — TM estimation improvement over gravity, all parameters "
-      "measured (Sec. 6.1)",
-      "Geant ~10-20% improvement, Totem ~20-30%; this scenario bounds "
-      "the gain the IC model can deliver");
-
-  RunOne("(a) Geant-like", /*totem=*/false, 51);
-  RunOne("(b) Totem-like", /*totem=*/true, 52);
-  return 0;
+int main(int argc, char** argv) {
+  return ictm::scenario::RunScenarioMain("fig11_est_measured", argc, argv);
 }

@@ -1,75 +1,10 @@
-// Fig. 12 — TM estimation with the stable-fP prior (Sec. 6.2): f and
-// {P_i} measured on a *previous* week, activities estimated from the
-// current week's ingress/egress counts via Atilde = pinv(Q*Phi) * QX
-// (Eqs. 7-9).
-// Paper: 10-20% improvement over the gravity prior; for Totem the
-// calibration week is two weeks back.
-#include <cstdio>
+// Fig. 12 estimation, stable-fP prior — thin wrapper over the registered scenario.
+//
+// The experiment itself lives in src/scenario/ and is shared with
+// `ictm run fig12_est_stable_fp`; this binary exists so the per-figure
+// harnesses keep working.  Flags: [--tiny] [--threads N] [--seed S].
+#include "scenario/scenario.hpp"
 
-#include "bench_common.hpp"
-#include "core/estimation.hpp"
-#include "core/gravity.hpp"
-#include "core/metrics.hpp"
-#include "core/priors.hpp"
-#include "topology/routing.hpp"
-#include "topology/topologies.hpp"
-
-using namespace ictm;
-
-namespace {
-
-void RunOne(const char* label, bool totem, std::size_t calibrationLag,
-            std::uint64_t seed) {
-  auto cfg = totem ? bench::BenchTotemConfig(seed)
-                   : bench::BenchGeantConfig(seed);
-  cfg.weeks = calibrationLag + 1;
-  const dataset::Dataset d = totem ? dataset::MakeTotemLike(cfg)
-                                   : dataset::MakeGeantLike(cfg);
-  const topology::Graph g =
-      totem ? topology::MakeTotem23() : topology::MakeGeant22();
-  const linalg::Matrix routing = topology::BuildRoutingMatrix(g);
-
-  const std::size_t bpw = d.binsPerWeek;
-  const auto calibrationWeek = d.measured.slice(0, bpw);
-  const auto targetWeek = d.measured.slice(calibrationLag * bpw, bpw);
-
-  // Calibrate (f, P) on the old week.
-  const core::StableFPFit fit = core::FitStableFP(calibrationWeek);
-
-  // Build priors for the target week from its marginals only.
-  const core::MarginalSeries margs = core::ExtractMarginals(targetWeek);
-  const auto icPrior =
-      core::StableFPPrior(fit.f, fit.preference, margs, d.binSeconds);
-  const auto gravPrior = core::GravityPriorSeries(margs, d.binSeconds);
-
-  const auto estIc = core::EstimateSeries(routing, targetWeek, icPrior);
-  const auto estGrav =
-      core::EstimateSeries(routing, targetWeek, gravPrior);
-
-  const auto icErr = core::RelL2TemporalSeries(targetWeek, estIc);
-  const auto gravErr = core::RelL2TemporalSeries(targetWeek, estGrav);
-  const auto improvement =
-      core::PercentImprovementSeries(gravErr, icErr);
-
-  std::printf("\n--- %s (calibration %zu week(s) back) ---\n", label,
-              calibrationLag);
-  std::printf("calibrated f = %.4f\n", fit.f);
-  bench::PrintSummaryLine("est err, gravity prior", gravErr);
-  bench::PrintSummaryLine("est err, stable-fP prior", icErr);
-  bench::PrintSummaryLine("% improvement", improvement);
-  bench::PrintSeries("% improvement over time", improvement, 14);
-}
-
-}  // namespace
-
-int main() {
-  bench::PrintHeader(
-      "Fig. 12 — TM estimation with the stable-fP prior (f, P from an "
-      "earlier week; Sec. 6.2)",
-      "~10-20% improvement over gravity whether calibration is one "
-      "week back (Geant) or two weeks back (Totem)");
-
-  RunOne("(a) Geant-like", /*totem=*/false, /*calibrationLag=*/1, 61);
-  RunOne("(b) Totem-like", /*totem=*/true, /*calibrationLag=*/2, 62);
-  return 0;
+int main(int argc, char** argv) {
+  return ictm::scenario::RunScenarioMain("fig12_est_stable_fp", argc, argv);
 }

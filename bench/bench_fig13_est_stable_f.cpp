@@ -1,71 +1,10 @@
-// Fig. 13 — TM estimation with the stable-f prior (Sec. 6.3): only f
-// is known; per-bin activities and preferences come from the
-// closed-form estimates (Eqs. 11-12) on current ingress/egress counts.
-// Paper: Géant ~8% improvement; Totem 1-2% (small but positive).
-#include <cstdio>
+// Fig. 13 estimation, stable-f prior — thin wrapper over the registered scenario.
+//
+// The experiment itself lives in src/scenario/ and is shared with
+// `ictm run fig13_est_stable_f`; this binary exists so the per-figure
+// harnesses keep working.  Flags: [--tiny] [--threads N] [--seed S].
+#include "scenario/scenario.hpp"
 
-#include "bench_common.hpp"
-#include "core/estimation.hpp"
-#include "core/fit.hpp"
-#include "core/gravity.hpp"
-#include "core/metrics.hpp"
-#include "core/priors.hpp"
-#include "topology/routing.hpp"
-#include "topology/topologies.hpp"
-
-using namespace ictm;
-
-namespace {
-
-void RunOne(const char* label, bool totem, std::uint64_t seed) {
-  auto cfg = totem ? bench::BenchTotemConfig(seed)
-                   : bench::BenchGeantConfig(seed);
-  cfg.weeks = 2;
-  const dataset::Dataset d = totem ? dataset::MakeTotemLike(cfg)
-                                   : dataset::MakeGeantLike(cfg);
-  const topology::Graph g =
-      totem ? topology::MakeTotem23() : topology::MakeGeant22();
-  const linalg::Matrix routing = topology::BuildRoutingMatrix(g);
-
-  const std::size_t bpw = d.binsPerWeek;
-  const auto calibrationWeek = d.measured.slice(0, bpw);
-  const auto targetWeek = d.measured.slice(bpw, bpw);
-
-  // Only f is calibrated (from the previous week's fit).
-  const core::StableFPFit fit = core::FitStableFP(calibrationWeek);
-  const double f = fit.f;
-
-  const core::MarginalSeries margs = core::ExtractMarginals(targetWeek);
-  const auto icPrior = core::StableFPrior(f, margs, d.binSeconds);
-  const auto gravPrior = core::GravityPriorSeries(margs, d.binSeconds);
-
-  const auto estIc = core::EstimateSeries(routing, targetWeek, icPrior);
-  const auto estGrav =
-      core::EstimateSeries(routing, targetWeek, gravPrior);
-
-  const auto icErr = core::RelL2TemporalSeries(targetWeek, estIc);
-  const auto gravErr = core::RelL2TemporalSeries(targetWeek, estGrav);
-  const auto improvement =
-      core::PercentImprovementSeries(gravErr, icErr);
-
-  std::printf("\n--- %s ---\n", label);
-  std::printf("calibrated f = %.4f\n", f);
-  bench::PrintSummaryLine("est err, gravity prior", gravErr);
-  bench::PrintSummaryLine("est err, stable-f prior", icErr);
-  bench::PrintSummaryLine("% improvement", improvement);
-  bench::PrintSeries("% improvement over time", improvement, 14);
-}
-
-}  // namespace
-
-int main() {
-  bench::PrintHeader(
-      "Fig. 13 — TM estimation with the stable-f prior (only f known; "
-      "Sec. 6.3)",
-      "Geant ~8% improvement; Totem only 1-2% — still preferable to "
-      "the gravity prior even with minimal side information");
-
-  RunOne("(a) Geant-like", /*totem=*/false, 71);
-  RunOne("(b) Totem-like", /*totem=*/true, 72);
-  return 0;
+int main(int argc, char** argv) {
+  return ictm::scenario::RunScenarioMain("fig13_est_stable_f", argc, argv);
 }

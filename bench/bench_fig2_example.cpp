@@ -1,55 +1,10 @@
-// Reproduces the Sec. 3 / Fig. 2 worked example: a 3-node network in
-// which connection-level initiator/responder independence holds but
-// packet-level ingress/egress independence (the gravity assumption)
-// fails badly.
-#include <cstdio>
+// Fig. 2 worked example — thin wrapper over the registered scenario.
+//
+// The experiment itself lives in src/scenario/ and is shared with
+// `ictm run fig2_example`; this binary exists so the per-figure
+// harnesses keep working.  Flags: [--tiny] [--threads N] [--seed S].
+#include "scenario/scenario.hpp"
 
-#include "bench_common.hpp"
-#include "core/gravity.hpp"
-#include "core/ic_model.hpp"
-#include "core/metrics.hpp"
-
-using namespace ictm;
-
-int main() {
-  bench::PrintHeader(
-      "Fig. 2 / Sec. 3 — three-node worked example",
-      "P[E=A|I=A]~0.50, P[E=A|I=B]~0.93, P[E=A|I=C]~0.95, P[E=A]~0.65; "
-      "under gravity these would all be equal");
-
-  const linalg::Matrix tm = core::BuildFig2ExampleTm();
-  std::printf("traffic matrix (packets per 5-min interval):\n");
-  const char* names = "ABC";
-  for (std::size_t i = 0; i < 3; ++i) {
-    std::printf("  %c:", names[i]);
-    for (std::size_t j = 0; j < 3; ++j) {
-      std::printf(" %6.0f", tm(i, j));
-    }
-    std::printf("\n");
-  }
-
-  std::printf("\nconditional egress probabilities towards A:\n");
-  for (std::size_t i = 0; i < 3; ++i) {
-    std::printf("  P[E=A | I=%c] = %.4f\n", names[i],
-                core::ConditionalEgressProbability(tm, i, 0));
-  }
-  std::printf("  P[E=A]        = %.4f\n", core::EgressProbability(tm, 0));
-
-  // Gravity reconstruction error on this matrix.
-  linalg::Vector in(3, 0.0), out(3, 0.0);
-  for (std::size_t i = 0; i < 3; ++i)
-    for (std::size_t j = 0; j < 3; ++j) {
-      in[i] += tm(i, j);
-      out[j] += tm(i, j);
-    }
-  const linalg::Matrix grav = core::GravityPredict(in, out);
-  std::printf("\ngravity reconstruction RelL2 error: %.4f\n",
-              core::RelL2Temporal(tm, grav));
-
-  // The same matrix is an exact IC instance (f = 1/2, equal two-way
-  // volumes) — zero reconstruction error.
-  core::IcParameters p{0.5, {600.0, 12.0, 6.0}, {1.0, 1.0, 1.0}};
-  std::printf("IC (f=0.5) reconstruction RelL2 error: %.2g\n",
-              core::RelL2Temporal(tm, core::EvaluateSimplifiedIc(p)));
-  return 0;
+int main(int argc, char** argv) {
+  return ictm::scenario::RunScenarioMain("fig2_example", argc, argv);
 }

@@ -1,46 +1,10 @@
-// Fig. 3 — temporal % improvement of the stable-fP IC model fit over
-// the gravity model, one week of Géant-like (a) and Totem-like (b)
-// data.  Paper bands: Géant ~20-25%, Totem ~6-8% (with dips below 0).
-#include <cstdio>
+// Fig. 3 model fit — thin wrapper over the registered scenario.
+//
+// The experiment itself lives in src/scenario/ and is shared with
+// `ictm run fig3_model_fit`; this binary exists so the per-figure
+// harnesses keep working.  Flags: [--tiny] [--threads N] [--seed S].
+#include "scenario/scenario.hpp"
 
-#include "bench_common.hpp"
-#include "core/gravity.hpp"
-#include "core/metrics.hpp"
-
-using namespace ictm;
-
-namespace {
-
-void RunOne(const char* label, const dataset::Dataset& d) {
-  const core::StableFPFit fit = core::FitStableFP(d.measured);
-  const auto rec = core::ReconstructSeries(fit, d.binSeconds);
-  const auto grav = core::GravityPredictSeries(d.measured);
-  const auto icErr = core::RelL2TemporalSeries(d.measured, rec);
-  const auto gErr = core::RelL2TemporalSeries(d.measured, grav);
-  const auto improvement = core::PercentImprovementSeries(gErr, icErr);
-
-  std::printf("\n--- %s (n=%zu, %zu bins) ---\n", label,
-              d.measured.nodeCount(), d.measured.binCount());
-  std::printf("fitted f = %.4f (generator realized f = %.4f)\n", fit.f,
-              d.realizedForwardFraction);
-  bench::PrintSummaryLine("RelL2 gravity", gErr);
-  bench::PrintSummaryLine("RelL2 IC (stable-fP)", icErr);
-  bench::PrintSummaryLine("% improvement", improvement);
-  bench::PrintSeries("% improvement over time", improvement, 14);
-}
-
-}  // namespace
-
-int main() {
-  bench::PrintHeader(
-      "Fig. 3 — model fit: % temporal-error improvement of stable-fP IC "
-      "over gravity",
-      "Geant ~20-25% improvement; Totem ~6-8% (noisier data, dips below "
-      "0); IC has about half the gravity model's degrees of freedom");
-
-  RunOne("Geant-like (D1), 1 week",
-         dataset::MakeGeantLike(bench::BenchGeantConfig(1)));
-  RunOne("Totem-like (D2), 1 week",
-         dataset::MakeTotemLike(bench::BenchTotemConfig(2)));
-  return 0;
+int main(int argc, char** argv) {
+  return ictm::scenario::RunScenarioMain("fig3_model_fit", argc, argv);
 }

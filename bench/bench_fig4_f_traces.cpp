@@ -1,50 +1,10 @@
-// Fig. 4 — f measured directly from two-hour bidirectional packet
-// header traces (the D3 Abilene substitute), per 5-minute bin, for
-// both directions of the instrumented link pair.
-// Paper: f in 0.2-0.3, stable in time, and f(A->B) ~ f(B->A).
-#include <cmath>
-#include <cstdio>
+// Fig. 4 f from packet traces — thin wrapper over the registered scenario.
+//
+// The experiment itself lives in src/scenario/ and is shared with
+// `ictm run fig4_f_traces`; this binary exists so the per-figure
+// harnesses keep working.  Flags: [--tiny] [--threads N] [--seed S].
+#include "scenario/scenario.hpp"
 
-#include "bench_common.hpp"
-#include "conngen/fmeasure.hpp"
-#include "conngen/packet_trace.hpp"
-
-using namespace ictm;
-
-int main() {
-  bench::PrintHeader(
-      "Fig. 4 — f for IPLS->CLEV and CLEV->IPLS over time (packet "
-      "traces)",
-      "f stays in 0.2-0.3 over all 5-min bins; the two directions "
-      "track each other; unknown (pre-trace) traffic < 20% of bytes");
-
-  conngen::TraceSimConfig cfg;  // 2-hour trace, like D3
-  cfg.connectionsPerSec = 10.0;  // keep the packet buffers modest
-  stats::Rng rng(42);
-  const conngen::LinkTracePair trace =
-      conngen::SimulatePacketTraces(cfg, rng);
-  std::printf("trace: %zu pkts A->B, %zu pkts B->A, %.0f s window\n",
-              trace.aToB.size(), trace.bToA.size(), trace.durationSec);
-
-  const conngen::FMeasurement m =
-      conngen::MeasureForwardFraction(trace, 300.0);
-  std::printf("unknown byte fraction: %.3f (paper: < 0.20)\n\n",
-              m.unknownByteFraction);
-
-  std::printf("%6s  %12s  %12s\n", "bin", "f(A->B)", "f(B->A)");
-  for (std::size_t b = 0; b < m.fAB.size(); ++b) {
-    std::printf("%6zu  %12.4f  %12.4f\n", b, m.fAB[b], m.fBA[b]);
-  }
-
-  std::vector<double> finAB, finBA;
-  for (double v : m.fAB)
-    if (std::isfinite(v)) finAB.push_back(v);
-  for (double v : m.fBA)
-    if (std::isfinite(v)) finBA.push_back(v);
-  std::printf("\n");
-  bench::PrintSummaryLine("f(A->B)", finAB);
-  bench::PrintSummaryLine("f(B->A)", finBA);
-  std::printf("mix byte-weighted expectation: %.4f\n",
-              cfg.mix.expectedForwardFraction());
-  return 0;
+int main(int argc, char** argv) {
+  return ictm::scenario::RunScenarioMain("fig4_f_traces", argc, argv);
 }

@@ -1,37 +1,10 @@
-// Fig. 5 — optimal f fitted on each of seven consecutive Totem-like
-// weeks.  Paper: f ~ 0.2, remarkably stable week to week.
-#include <cstdio>
+// Fig. 5 weekly f stability — thin wrapper over the registered scenario.
+//
+// The experiment itself lives in src/scenario/ and is shared with
+// `ictm run fig5_f_stability`; this binary exists so the per-figure
+// harnesses keep working.  Flags: [--tiny] [--threads N] [--seed S].
+#include "scenario/scenario.hpp"
 
-#include "bench_common.hpp"
-#include "stats/bootstrap.hpp"
-
-using namespace ictm;
-
-int main() {
-  bench::PrintHeader(
-      "Fig. 5 — optimal f values over seven consecutive weeks (Totem)",
-      "f close to 0.2 and stable across all seven weeks");
-
-  const bench::WeeklyFitResult r = bench::FitWeekly(/*totem=*/true,
-                                                    /*weeks=*/7,
-                                                    /*seed=*/7);
-  std::printf("generator realized f (whole horizon): %.4f\n\n",
-              r.data.realizedForwardFraction);
-  std::printf("%6s  %10s  %12s\n", "week", "fitted f", "fit objective");
-  std::vector<double> fs;
-  for (std::size_t w = 0; w < r.fits.size(); ++w) {
-    std::printf("%6zu  %10.4f  %12.4f\n", w + 1, r.fits[w].f,
-                r.fits[w].objective());
-    fs.push_back(r.fits[w].f);
-  }
-  std::printf("\n");
-  bench::PrintSummaryLine("fitted f across weeks", fs);
-
-  // Bootstrap CI on the cross-week mean: how much of the week-to-week
-  // variation is explained by sampling noise alone.
-  stats::Rng bootRng(123);
-  const auto ci = stats::BootstrapMeanCi(fs, 0.95, 2000, bootRng);
-  std::printf("bootstrap 95%% CI on mean f: [%.4f, %.4f]\n", ci.lower,
-              ci.upper);
-  return 0;
+int main(int argc, char** argv) {
+  return ictm::scenario::RunScenarioMain("fig5_f_stability", argc, argv);
 }

@@ -1,58 +1,10 @@
-// Fig. 6 — optimal preference values {P_i} fitted per week: Géant over
-// 3 weeks (a), Totem over 7 weeks (b).
-// Paper: P_i nearly constant over weeks; values highly variable across
-// nodes (a few nodes ~10x the typical value).
-#include <algorithm>
-#include <cstdio>
+// Fig. 6 weekly P stability — thin wrapper over the registered scenario.
+//
+// The experiment itself lives in src/scenario/ and is shared with
+// `ictm run fig6_p_stability`; this binary exists so the per-figure
+// harnesses keep working.  Flags: [--tiny] [--threads N] [--seed S].
+#include "scenario/scenario.hpp"
 
-#include "bench_common.hpp"
-#include "stats/summary.hpp"
-
-using namespace ictm;
-
-namespace {
-
-void RunOne(const char* label, bool totem, std::size_t weeks,
-            std::uint64_t seed) {
-  const bench::WeeklyFitResult r = bench::FitWeekly(totem, weeks, seed);
-  const std::size_t n = r.data.truth.nodeCount();
-  std::printf("\n--- %s ---\n", label);
-  std::printf("%5s", "node");
-  for (std::size_t w = 0; w < weeks; ++w) std::printf("    wk%zu", w + 1);
-  std::printf("   true\n");
-  // Per-node max deviation across weeks (the stability statistic).
-  std::vector<double> deviations;
-  for (std::size_t i = 0; i < n; ++i) {
-    std::printf("%5zu", i);
-    double lo = 1e300, hi = -1e300;
-    for (std::size_t w = 0; w < weeks; ++w) {
-      const double p = r.fits[w].preference[i];
-      std::printf(" %6.3f", p);
-      lo = std::min(lo, p);
-      hi = std::max(hi, p);
-    }
-    std::printf(" %6.3f\n", r.data.truePreference[i]);
-    deviations.push_back(hi - lo);
-  }
-  std::printf("\n");
-  bench::PrintSummaryLine("per-node max |P drift|", deviations);
-  // Cross-node variability of the (week-1) values.
-  std::vector<double> p1(r.fits[0].preference.begin(),
-                         r.fits[0].preference.end());
-  std::sort(p1.begin(), p1.end());
-  std::printf("cross-node spread wk1: max/median = %.1f (paper: ~10x)\n",
-              p1.back() / stats::Median(p1));
-}
-
-}  // namespace
-
-int main() {
-  bench::PrintHeader(
-      "Fig. 6 — optimal P values over time",
-      "P_i stable week-to-week (tiny drift); across nodes highly "
-      "variable: a few nodes up to ~10x the typical preference");
-
-  RunOne("(a) Geant-like, 3 weeks", /*totem=*/false, 3, 11);
-  RunOne("(b) Totem-like, 7 weeks", /*totem=*/true, 7, 7);
-  return 0;
+int main(int argc, char** argv) {
+  return ictm::scenario::RunScenarioMain("fig6_p_stability", argc, argv);
 }

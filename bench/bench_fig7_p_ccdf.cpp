@@ -1,63 +1,10 @@
-// Fig. 7 — log-log CCDF of the fitted preference values {P_i} with
-// exponential and lognormal MLE fits.
-// Paper: long tail; lognormal (MLE mu ~ -4.3, sigma ~ 1.7) tracks the
-// tail far better than the exponential.
-#include <cstdio>
+// Fig. 7 preference CCDF — thin wrapper over the registered scenario.
+//
+// The experiment itself lives in src/scenario/ and is shared with
+// `ictm run fig7_p_ccdf`; this binary exists so the per-figure
+// harnesses keep working.  Flags: [--tiny] [--threads N] [--seed S].
+#include "scenario/scenario.hpp"
 
-#include "bench_common.hpp"
-#include "stats/fitting.hpp"
-#include "stats/summary.hpp"
-
-using namespace ictm;
-
-namespace {
-
-void RunOne(const char* label, bool totem, std::uint64_t seed) {
-  const bench::WeeklyFitResult r = bench::FitWeekly(totem, 1, seed);
-  // Restrict to the positive support: the NNLS fit can produce exact
-  // zeros, which the lognormal cannot represent.
-  std::vector<double> p;
-  for (double v : r.fits[0].preference) {
-    if (v > 0.0) p.push_back(v);
-  }
-
-  const stats::Lognormal ln = stats::FitLognormalMle(p);
-  const stats::Exponential ex = stats::FitExponentialMle(p);
-
-  std::printf("\n--- %s (n=%zu preference values) ---\n", label, p.size());
-  std::printf("lognormal MLE: mu=%.2f sigma=%.2f (paper: mu~-4.3, "
-              "sigma~1.7)\n",
-              ln.mu(), ln.sigma());
-  std::printf("exponential MLE: lambda=%.2f\n", ex.lambda());
-
-  std::printf("%12s %12s %12s %12s\n", "P value", "emp CCDF", "lognormal",
-              "exponential");
-  for (const auto& pt : stats::EmpiricalCcdf(p)) {
-    if (pt.prob <= 0.0) continue;
-    std::printf("%12.5f %12.4f %12.4f %12.4f\n", pt.x, pt.prob,
-                ln.ccdf(pt.x), ex.ccdf(pt.x));
-  }
-
-  std::printf("goodness of fit (smaller = better):\n");
-  std::printf("  KS statistic:   lognormal %.4f   exponential %.4f\n",
-              stats::KsStatistic(p, ln), stats::KsStatistic(p, ex));
-  std::printf("  log-CCDF MSE:   lognormal %.4f   exponential %.4f\n",
-              stats::LogCcdfMse(p, ln), stats::LogCcdfMse(p, ex));
-  std::printf("  log-likelihood: lognormal %.2f   exponential %.2f "
-              "(larger = better)\n",
-              stats::LogLikelihood(ln, p), stats::LogLikelihood(ex, p));
-}
-
-}  // namespace
-
-int main() {
-  bench::PrintHeader(
-      "Fig. 7 — CCDF of optimal P values with exponential and lognormal "
-      "fits",
-      "long-tailed distribution; lognormal clearly beats exponential "
-      "in the tail (few data points, so indicative only)");
-
-  RunOne("(a) Geant-like", /*totem=*/false, 21);
-  RunOne("(b) Totem-like", /*totem=*/true, 22);
-  return 0;
+int main(int argc, char** argv) {
+  return ictm::scenario::RunScenarioMain("fig7_p_ccdf", argc, argv);
 }

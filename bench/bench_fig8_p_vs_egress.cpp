@@ -1,75 +1,10 @@
-// Fig. 8 — fitted preference P_i compared with the node's mean
-// normalised egress share X_*i/X_**; plus the Sec. 5.4 check that
-// preference and mean activity are uncorrelated.
-// Paper: egress volume is a poor proxy for preference above the
-// median; P and mean A show no evidence of correlation.
-#include <cstdio>
+// Fig. 8 P vs egress volume — thin wrapper over the registered scenario.
+//
+// The experiment itself lives in src/scenario/ and is shared with
+// `ictm run fig8_p_vs_egress`; this binary exists so the per-figure
+// harnesses keep working.  Flags: [--tiny] [--threads N] [--seed S].
+#include "scenario/scenario.hpp"
 
-#include "bench_common.hpp"
-#include "stats/summary.hpp"
-
-using namespace ictm;
-
-namespace {
-
-void RunOne(const char* label, bool totem, std::uint64_t seed) {
-  const bench::WeeklyFitResult r = bench::FitWeekly(totem, 1, seed);
-  const core::StableFPFit& fit = r.fits[0];
-  const linalg::Vector egressShare =
-      r.data.measured.meanNormalizedEgress();
-  const std::size_t n = egressShare.size();
-
-  std::printf("\n--- %s ---\n", label);
-  std::printf("%5s %12s %12s\n", "node", "P value", "mean X_*i/X_**");
-  for (std::size_t i = 0; i < n; ++i) {
-    std::printf("%5zu %12.4f %12.4f\n", i, fit.preference[i],
-                egressShare[i]);
-  }
-
-  std::vector<double> p(fit.preference.begin(), fit.preference.end());
-  std::vector<double> e(egressShare.begin(), egressShare.end());
-  std::printf("corr(P, egress share) overall: pearson=%.3f "
-              "spearman=%.3f\n",
-              stats::PearsonCorrelation(p, e),
-              stats::SpearmanCorrelation(p, e));
-
-  // Above-median subset (the paper's observation is about large nodes).
-  const double median = stats::Median(e);
-  std::vector<double> pTop, eTop;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (e[i] > median) {
-      pTop.push_back(p[i]);
-      eTop.push_back(e[i]);
-    }
-  }
-  std::printf("corr above-median-egress nodes: pearson=%.3f "
-              "(paper: weak)\n",
-              stats::PearsonCorrelation(pTop, eTop));
-
-  // Sec. 5.4: preference vs mean activity level.
-  std::vector<double> meanA(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    double acc = 0.0;
-    for (std::size_t t = 0; t < fit.activitySeries.cols(); ++t)
-      acc += fit.activitySeries(i, t);
-    meanA[i] = acc / double(fit.activitySeries.cols());
-  }
-  std::printf("corr(P, mean A) [Sec. 5.4]: pearson=%.3f spearman=%.3f "
-              "(paper: no evidence of correlation)\n",
-              stats::PearsonCorrelation(p, meanA),
-              stats::SpearmanCorrelation(p, meanA));
-}
-
-}  // namespace
-
-int main() {
-  bench::PrintHeader(
-      "Fig. 8 — optimal P values vs normalised egress counts",
-      "small nodes necessarily have small P, but above the median "
-      "egress volume correlates weakly with preference; P and mean "
-      "activity are uncorrelated (Sec. 5.4)");
-
-  RunOne("(a) Geant-like", /*totem=*/false, 31);
-  RunOne("(b) Totem-like", /*totem=*/true, 32);
-  return 0;
+int main(int argc, char** argv) {
+  return ictm::scenario::RunScenarioMain("fig8_p_vs_egress", argc, argv);
 }

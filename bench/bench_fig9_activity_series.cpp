@@ -1,81 +1,10 @@
-// Fig. 9 — estimated activity time series A_i(t) for the largest, a
-// medium and the smallest node, Géant-like (a) and Totem-like (b).
-// Paper: strong daily periodicity, weekend dip, larger nodes show the
-// cleanest pattern.
-#include <algorithm>
-#include <cstdio>
-#include <numeric>
+// Fig. 9 activity time series — thin wrapper over the registered scenario.
+//
+// The experiment itself lives in src/scenario/ and is shared with
+// `ictm run fig9_activity_series`; this binary exists so the per-figure
+// harnesses keep working.  Flags: [--tiny] [--threads N] [--seed S].
+#include "scenario/scenario.hpp"
 
-#include "bench_common.hpp"
-#include "timeseries/cyclo_fit.hpp"
-#include "timeseries/diurnal.hpp"
-
-using namespace ictm;
-
-namespace {
-
-void RunOne(const char* label, bool totem, std::uint64_t seed) {
-  const bench::WeeklyFitResult r = bench::FitWeekly(totem, 1, seed);
-  const core::StableFPFit& fit = r.fits[0];
-  const std::size_t n = fit.activitySeries.rows();
-  const std::size_t bins = fit.activitySeries.cols();
-  const std::size_t binsPerDay = r.data.binsPerWeek / 7;
-
-  // Order nodes by mean activity.
-  std::vector<double> meanA(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t t = 0; t < bins; ++t)
-      meanA[i] += fit.activitySeries(i, t);
-    meanA[i] /= double(bins);
-  }
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return meanA[a] > meanA[b];
-  });
-
-  std::printf("\n--- %s ---\n", label);
-  for (const char* role : {"largest", "medium", "smallest"}) {
-    std::size_t node = order[0];
-    if (role[0] == 'm') node = order[n / 2];
-    if (role[0] == 's') node = order[n - 1];
-    std::vector<double> series(bins);
-    for (std::size_t t = 0; t < bins; ++t)
-      series[t] = fit.activitySeries(node, t);
-
-    const std::size_t period = timeseries::DominantPeriod(
-        series, binsPerDay / 2, binsPerDay * 3 / 2);
-    const double weekendRatio =
-        timeseries::WeekendWeekdayRatio(series, binsPerDay);
-    std::printf("\n%s node %zu: mean A = %.4g bytes/bin\n", role, node,
-                meanA[node]);
-    std::printf("  dominant period = %zu bins (1 day = %zu bins)\n",
-                period, binsPerDay);
-    std::printf("  weekend/weekday ratio = %.3f (paper: < 1, weekend "
-                "dip)\n",
-                weekendRatio);
-    // The paper suggests a cyclo-stationary model for A_i(t) (future
-    // work); fit one and report how much variance the weekly template
-    // explains.
-    const auto cyclo =
-        timeseries::FitCyclostationary(series, binsPerDay * 7);
-    std::printf("  cyclo-stationary fit: seasonal R^2 = %.3f, residual "
-                "sigma = %.3f\n",
-                timeseries::SeasonalR2(series, cyclo),
-                cyclo.residualSigma);
-    bench::PrintSeries("  A(t)", series, 14);
-  }
-}
-
-}  // namespace
-
-int main() {
-  bench::PrintHeader(
-      "Fig. 9 — A_i(t) time series, largest / medium / smallest node",
-      "strong daily periodicity plus a weekend dip; the pattern is "
-      "most pronounced for high-activity nodes");
-
-  RunOne("(a) Geant-like", /*totem=*/false, 41);
-  RunOne("(b) Totem-like", /*totem=*/true, 42);
-  return 0;
+int main(int argc, char** argv) {
+  return ictm::scenario::RunScenarioMain("fig9_activity_series", argc, argv);
 }

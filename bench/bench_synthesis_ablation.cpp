@@ -1,114 +1,10 @@
-// Sec. 5.5 ablation — synthetic TM generation knobs.
+// Sec. 5.5 synthesis ablation — thin wrapper over the registered scenario.
 //
-// The paper argues the IC recipe's inputs are physically meaningful
-// "what-if" dials: f encodes application mix, {P_i} hot spots, {A_i(t)}
-// user population.  This harness sweeps each dial and reports how the
-// generated matrices respond, plus the round-trip property (fitting
-// the generated series recovers the dialled parameters).
-#include <cstdio>
+// The experiment itself lives in src/scenario/ and is shared with
+// `ictm run synthesis_ablation`; this binary exists so the per-figure
+// harnesses keep working.  Flags: [--tiny] [--threads N] [--seed S].
+#include "scenario/scenario.hpp"
 
-#include "bench_common.hpp"
-#include "core/gravity.hpp"
-#include "core/metrics.hpp"
-#include "core/synthesis.hpp"
-#include "stats/summary.hpp"
-
-using namespace ictm;
-
-namespace {
-
-core::SynthesisConfig BaseConfig() {
-  core::SynthesisConfig cfg;
-  cfg.nodes = 16;
-  cfg.bins = 672;  // one week of 15-min bins
-  cfg.activityModel.profile.binsPerDay = 96;
-  return cfg;
-}
-
-double Asymmetry(const traffic::TrafficMatrixSeries& s) {
-  // Mean |X_ij - X_ji| / (X_ij + X_ji) over pairs and bins: how
-  // two-way-asymmetric the traffic is.
-  double acc = 0.0;
-  std::size_t count = 0;
-  for (std::size_t t = 0; t < s.binCount(); ++t) {
-    for (std::size_t i = 0; i < s.nodeCount(); ++i) {
-      for (std::size_t j = i + 1; j < s.nodeCount(); ++j) {
-        const double a = s(t, i, j), b = s(t, j, i);
-        if (a + b > 0) {
-          acc += std::abs(a - b) / (a + b);
-          ++count;
-        }
-      }
-    }
-  }
-  return acc / double(count);
-}
-
-}  // namespace
-
-int main() {
-  bench::PrintHeader(
-      "Sec. 5.5 ablation — synthetic TM generation dials",
-      "f controls directional asymmetry (what-if: application mix); "
-      "preference sigma controls hot-spot concentration; the recipe "
-      "round-trips through the fitter");
-
-  // Dial 1: f.
-  std::printf("\n[f sweep] (asymmetry falls to 0 at f = 0.5)\n");
-  std::printf("%8s %14s %14s\n", "f", "TM asymmetry", "fit recovers f");
-  for (double f : {0.05, 0.15, 0.25, 0.35, 0.45}) {
-    core::SynthesisConfig cfg = BaseConfig();
-    cfg.f = f;
-    stats::Rng rng(81);
-    const auto synth = core::GenerateSyntheticTm(cfg, rng);
-    const auto fit = core::FitStableFP(synth.series);
-    std::printf("%8.2f %14.4f %14.4f\n", f, Asymmetry(synth.series),
-                fit.f);
-  }
-
-  // Dial 2: preference spread.
-  std::printf("\n[preference sigma sweep] (hot-spot concentration)\n");
-  std::printf("%8s %22s %18s\n", "sigma", "max P / median P",
-              "gravity fit error");
-  for (double sigma : {0.5, 1.0, 1.7, 2.4}) {
-    core::SynthesisConfig cfg = BaseConfig();
-    cfg.preferenceSigma = sigma;
-    stats::Rng rng(82);
-    const auto synth = core::GenerateSyntheticTm(cfg, rng);
-    std::vector<double> p(synth.preference.begin(),
-                          synth.preference.end());
-    const auto grav = core::GravityPredictSeries(synth.series);
-    std::printf("%8.2f %22.2f %18.4f\n", sigma,
-                stats::Quantile(p, 1.0) / stats::Median(p),
-                core::Mean(core::RelL2TemporalSeries(synth.series, grav)));
-  }
-
-  // Dial 3: weekend depth of the activity model.
-  std::printf("\n[weekend factor sweep] (user-population dial)\n");
-  std::printf("%8s %22s\n", "factor", "weekend/weekday traffic");
-  for (double wf : {0.3, 0.55, 0.8, 1.0}) {
-    core::SynthesisConfig cfg = BaseConfig();
-    cfg.activityModel.profile.weekendFactor = wf;
-    stats::Rng rng(83);
-    const auto synth = core::GenerateSyntheticTm(cfg, rng);
-    std::vector<double> totals(synth.series.binCount());
-    for (std::size_t t = 0; t < totals.size(); ++t)
-      totals[t] = synth.series.total(t);
-    double weekend = 0.0, weekday = 0.0;
-    const std::size_t bpd = cfg.activityModel.profile.binsPerDay;
-    std::size_t wkndCount = 0, wkdyCount = 0;
-    for (std::size_t t = 0; t < totals.size(); ++t) {
-      if ((t / bpd) % 7 >= 5) {
-        weekend += totals[t];
-        ++wkndCount;
-      } else {
-        weekday += totals[t];
-        ++wkdyCount;
-      }
-    }
-    std::printf("%8.2f %22.4f\n", wf,
-                (weekend / double(wkndCount)) /
-                    (weekday / double(wkdyCount)));
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return ictm::scenario::RunScenarioMain("synthesis_ablation", argc, argv);
 }

@@ -23,9 +23,8 @@ struct EstimationOptions {
   /// Ridge added to the normal-equations diagonal, relative to its
   /// trace, making the solve robust to rank deficiency.
   double relativeRidge = 1e-10;
-  /// IPF settings for step 3.
-  std::size_t ipfIterations = 100;
-  double ipfTolerance = 1e-9;
+  std::size_t ipfIterations = 100;  ///< max IPF iterations (step 3)
+  double ipfTolerance = 1e-9;       ///< IPF marginal convergence tolerance
   /// Worker threads for EstimateSeries' per-bin fan-out (bins are
   /// independent, so results are bit-identical for any value); 0 means
   /// all hardware threads.

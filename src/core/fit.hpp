@@ -32,29 +32,29 @@ struct FitOptions {
   /// traffic is response-dominated (paper: f in 0.2-0.3), so the
   /// default search space is the physical branch f < 1/2; widen fMax
   /// explicitly to explore the mirrored branch.
-  double fMin = 0.01;
-  double fMax = 0.49;
+  double fMin = 0.01;  ///< lower end of the f search range
+  double fMax = 0.49;  ///< upper end (default: physical branch only)
   /// The alternating solver can stall in local optima whose f is far
   /// from the global one.  When `gridPoints > 0` (and fitF is true),
   /// the fit first scans a coarse grid of fixed-f short fits over
   /// [fMin, fMax] on a temporally subsampled series, then polishes the
   /// winner with the full alternating solve — the deterministic
   /// counterpart of the multi-start NLP solve the paper uses.
-  std::size_t gridPoints = 9;
-  std::size_t gridSweeps = 4;
+  std::size_t gridPoints = 9;  ///< grid size of the coarse f scan
+  std::size_t gridSweeps = 4;  ///< sweeps per fixed-f grid fit
   /// During the grid stage, fit every k-th bin only (k = gridStride).
   std::size_t gridStride = 4;
 };
 
 /// Result of a stable-fP fit.
 struct StableFPFit {
-  double f = 0.25;
+  double f = 0.25;                ///< fitted forward fraction
   linalg::Vector preference;      ///< length n, non-negative, sums to 1
   linalg::Matrix activitySeries;  ///< n x T, non-negative
   /// Objective sum_t RelL2(t) after each sweep (front = after sweep 1).
   std::vector<double> objectiveHistory;
-  std::size_t sweeps = 0;
-  bool converged = false;
+  std::size_t sweeps = 0;         ///< alternating sweeps performed
+  bool converged = false;         ///< true when the tolerance was met
 
   /// Final objective value (throws when no sweep ran).
   double objective() const;
@@ -72,6 +72,7 @@ struct TimeVaryingFit {
   linalg::Matrix activitySeries;           ///< n x T
   double objective = 0.0;                  ///< sum_t RelL2(t)
 };
+/// Runs the per-bin time-varying fit described above.
 TimeVaryingFit FitTimeVarying(const traffic::TrafficMatrixSeries& series,
                               const FitOptions& options = {});
 

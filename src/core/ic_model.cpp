@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/parallel.hpp"
+
 namespace ictm::core {
 
 void IcParameters::validate() const {
@@ -67,18 +69,21 @@ linalg::Matrix EvaluateGeneralIc(const linalg::Matrix& forwardFractions,
 
 traffic::TrafficMatrixSeries EvaluateStableFP(
     double f, const linalg::Matrix& activitySeries,
-    const linalg::Vector& preference, double binSeconds) {
+    const linalg::Vector& preference, double binSeconds,
+    std::size_t threads) {
   const std::size_t n = activitySeries.rows();
   const std::size_t bins = activitySeries.cols();
   ICTM_REQUIRE(preference.size() == n, "preference size mismatch");
   traffic::TrafficMatrixSeries series(n, bins, binSeconds);
-  for (std::size_t t = 0; t < bins; ++t) {
+  // Each bin writes only its own n x n block, so the fan-out is
+  // bit-identical for every thread count.
+  ParallelFor(0, bins, threads, [&](std::size_t t) {
     IcParameters params;
     params.f = f;
     params.activity = activitySeries.col(t);
     params.preference = preference;
     series.setBin(t, EvaluateSimplifiedIc(params));
-  }
+  });
   return series;
 }
 

@@ -17,6 +17,9 @@
 #include "linalg/matrix.hpp"
 #include "traffic/tm_series.hpp"
 
+/// Reproduction of the paper's models and algorithms: the IC model
+/// family, gravity, parameter fitting, priors, tomogravity estimation,
+/// synthetic TM generation and the error metrics.
 namespace ictm::core {
 
 /// Parameters of the simplified IC model at one time bin.
@@ -27,6 +30,7 @@ struct IcParameters {
 
   /// Throws unless the invariants above hold.
   void validate() const;
+  /// Number of nodes n (the activity vector length).
   std::size_t nodeCount() const noexcept { return activity.size(); }
 };
 
@@ -41,9 +45,12 @@ linalg::Matrix EvaluateGeneralIc(const linalg::Matrix& forwardFractions,
 
 /// Evaluates the stable-fP model (Eq. 5) over T bins: constant f and P,
 /// per-bin activities given as an n x T matrix (column t = A(t)).
+/// Bins are independent and fan out across `threads` workers (0 = all
+/// hardware threads); the result is bit-identical for any count.
 traffic::TrafficMatrixSeries EvaluateStableFP(
     double f, const linalg::Matrix& activitySeries,
-    const linalg::Vector& preference, double binSeconds = 300.0);
+    const linalg::Vector& preference, double binSeconds = 300.0,
+    std::size_t threads = 1);
 
 /// Builds the n^2 x n linear operator Phi with x(t) = Phi * A(t) for
 /// fixed (f, P) — the matrix the stable-fP estimation premultiplies by
@@ -55,15 +62,19 @@ linalg::Matrix BuildActivityOperator(double f,
 /// Degrees-of-freedom accounting from paper Sec. 5.1 for a dataset of
 /// n nodes over t bins.
 struct DegreesOfFreedom {
+  /// Gravity model: 2nt - 1 inputs.
   static std::size_t Gravity(std::size_t n, std::size_t t) {
     return 2 * n * t - 1;
   }
+  /// Time-varying IC model (Eq. 3): 3nt inputs.
   static std::size_t TimeVaryingIc(std::size_t n, std::size_t t) {
     return 3 * n * t;
   }
+  /// Stable-f IC model (Eq. 4): 2nt + 1 inputs.
   static std::size_t StableFIc(std::size_t n, std::size_t t) {
     return 2 * n * t + 1;
   }
+  /// Stable-fP IC model (Eq. 5): nt + n + 1 inputs.
   static std::size_t StableFPIc(std::size_t n, std::size_t t) {
     return n * t + n + 1;
   }

@@ -21,11 +21,14 @@ namespace ictm::core {
 /// Ingress/egress marginal time series (what SNMP gives an operator):
 /// each matrix is n x T, column t = the marginal vector at bin t.
 struct MarginalSeries {
-  linalg::Matrix ingress;
-  linalg::Matrix egress;
+  linalg::Matrix ingress;  ///< n x T, column t = X_i*(t)
+  linalg::Matrix egress;   ///< n x T, column t = X_*j(t)
 
+  /// Number of nodes n.
   std::size_t nodeCount() const noexcept { return ingress.rows(); }
+  /// Number of time bins T.
   std::size_t binCount() const noexcept { return ingress.cols(); }
+  /// Throws unless both matrices are n x T with non-negative entries.
   void validate() const;
 };
 

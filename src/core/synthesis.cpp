@@ -17,18 +17,19 @@ SyntheticTm GenerateSyntheticTm(const SynthesisConfig& config,
   for (double& p : preference) p = prefDist.sample(rng);
   preference = linalg::NormalizeNonNegative(preference);
 
-  // Step 3: cyclo-stationary activities.
+  // Step 3: cyclo-stationary activities (per-node fan-out).
   const auto ensemble = timeseries::GenerateActivityEnsemble(
       config.nodes, config.bins, config.activityModel,
-      config.peakLogSigma, rng);
+      config.peakLogSigma, rng, config.threads);
   linalg::Matrix activity(config.nodes, config.bins);
   for (std::size_t i = 0; i < config.nodes; ++i)
     for (std::size_t t = 0; t < config.bins; ++t)
       activity(i, t) = ensemble[i][t];
 
-  // Step 4: compose via the stable-fP model.
+  // Step 4: compose via the stable-fP model (per-bin fan-out).
   SyntheticTm out{
-      EvaluateStableFP(config.f, activity, preference, config.binSeconds),
+      EvaluateStableFP(config.f, activity, preference, config.binSeconds,
+                       config.threads),
       std::move(preference), std::move(activity), config.f};
   return out;
 }

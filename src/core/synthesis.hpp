@@ -16,25 +16,31 @@ namespace ictm::core {
 
 /// Configuration of the Sec. 5.5 generator.
 struct SynthesisConfig {
-  std::size_t nodes = 22;
+  std::size_t nodes = 22;        ///< number of PoP nodes
   std::size_t bins = 2016;       ///< one week of 5-minute bins
-  double binSeconds = 300.0;
+  double binSeconds = 300.0;     ///< bin duration metadata
   double f = 0.25;               ///< paper-recommended range 0.2-0.3
   double preferenceMu = -4.3;    ///< lognormal MLE from Fig. 7
-  double preferenceSigma = 1.7;
+  double preferenceSigma = 1.7;  ///< lognormal sigma of the preferences
   /// Cyclo-stationary activity model shared by all nodes; per-node
   /// peaks are scattered lognormally with `peakLogSigma`.
   timeseries::ActivityModel activityModel;
+  /// Lognormal sigma of the per-node peak levels.
   double peakLogSigma = 1.0;
+  /// Worker threads for the per-node activity generation and per-bin
+  /// stable-fP composition fan-outs (0 = all hardware threads).  All
+  /// RNG draws happen serially before the fan-out, so the generated
+  /// series is bit-identical for every thread count.
+  std::size_t threads = 1;
 };
 
 /// Output of the generator: the TM series plus the ground-truth
 /// parameters that produced it (for validation / what-if analysis).
 struct SyntheticTm {
-  traffic::TrafficMatrixSeries series;
+  traffic::TrafficMatrixSeries series;  ///< the generated X_ij(t)
   linalg::Vector preference;      ///< normalised
   linalg::Matrix activitySeries;  ///< n x T
-  double f = 0.25;
+  double f = 0.25;                ///< the forward fraction used
 };
 
 /// Runs the full recipe.  Deterministic given the seed inside `rng`.

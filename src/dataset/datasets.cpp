@@ -126,4 +126,11 @@ Dataset MakeSmallDataset(std::size_t nodes, std::size_t bins,
   return Build(nodes, bins, binSeconds, c);
 }
 
+Dataset MakeSmallWeeklyDataset(std::size_t nodes, std::size_t binsPerWeek,
+                               double binSeconds,
+                               const DatasetConfig& config) {
+  ICTM_REQUIRE(binsPerWeek >= 7, "small dataset still needs >= 7 bins");
+  return Build(nodes, binsPerWeek, binSeconds, config);
+}
+
 }  // namespace ictm::dataset

@@ -83,4 +83,12 @@ Dataset MakeTotemLike(const DatasetConfig& config = {});
 Dataset MakeSmallDataset(std::size_t nodes, std::size_t bins,
                          double binSeconds, const DatasetConfig& config);
 
+/// Small dataset spanning `config.weeks` weeks of `binsPerWeek` bins
+/// each — the multi-week counterpart of MakeSmallDataset, used by the
+/// scenario registry's tiny configurations (weekly-stability scenarios
+/// need more than one week even at test scale).
+Dataset MakeSmallWeeklyDataset(std::size_t nodes, std::size_t binsPerWeek,
+                               double binSeconds,
+                               const DatasetConfig& config);
+
 }  // namespace ictm::dataset

@@ -1,0 +1,25 @@
+// Internal: registration hooks for the built-in scenario translation
+// units.  Explicit registration (instead of static initialisers) keeps
+// the scenarios alive inside the static library — the linker would
+// otherwise drop translation units nothing references.
+#pragma once
+
+/// Internal registration hooks for the built-in scenarios.
+namespace ictm::scenario::detail {
+
+/// Registers fig2_example, fig3_model_fit and dof_table.
+void RegisterModelScenarios();
+/// Registers fig4_f_traces.
+void RegisterTraceScenarios();
+/// Registers fig5-fig9 (weekly stability and activity structure).
+void RegisterStabilityScenarios();
+/// Registers fig10-fig13 (TM estimation with the IC priors).
+void RegisterEstimationScenarios();
+/// Registers the Sec. 5.5/5.6 ablations.
+void RegisterAblationScenarios();
+/// Registers the estimation/synthesis scaling scenarios.
+void RegisterScaleScenarios();
+/// Registers the what-if studies.
+void RegisterWhatIfScenarios();
+
+}  // namespace ictm::scenario::detail

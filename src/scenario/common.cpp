@@ -1,0 +1,94 @@
+#include "scenario/common.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/summary.hpp"
+
+namespace ictm::scenario {
+
+dataset::DatasetConfig GeantConfig(std::uint64_t seed) {
+  dataset::DatasetConfig cfg;
+  cfg.seed = seed;
+  cfg.peakActivityBytes = 2e8;  // reduced for scenario runtime
+  return cfg;
+}
+
+dataset::DatasetConfig TotemConfig(std::uint64_t seed) {
+  dataset::DatasetConfig cfg;
+  cfg.seed = seed;
+  cfg.peakActivityBytes = 2e8;
+  return cfg;
+}
+
+dataset::Dataset MakeScenarioDataset(const ScenarioContext& ctx,
+                                     bool totem,
+                                     std::uint64_t canonicalSeed,
+                                     std::size_t weeks) {
+  dataset::DatasetConfig cfg = totem
+                                   ? TotemConfig(ctx.seed(canonicalSeed))
+                                   : GeantConfig(ctx.seed(canonicalSeed));
+  cfg.weeks = weeks;
+  if (ctx.tiny) {
+    // 6 nodes, 42 bins per week (6 per day) — the same generative
+    // machinery at test scale.
+    return dataset::MakeSmallWeeklyDataset(6, 42, 300.0, cfg);
+  }
+  return totem ? dataset::MakeTotemLike(cfg) : dataset::MakeGeantLike(cfg);
+}
+
+WeeklyFitResult FitWeekly(const ScenarioContext& ctx, bool totem,
+                          std::size_t weeks,
+                          std::uint64_t canonicalSeed) {
+  WeeklyFitResult out{
+      MakeScenarioDataset(ctx, totem, canonicalSeed, weeks), {}};
+  const std::size_t binsPerWeek = out.data.binsPerWeek;
+  for (std::size_t w = 0; w < weeks; ++w) {
+    const auto week = out.data.measured.slice(w * binsPerWeek, binsPerWeek);
+    out.fits.push_back(core::FitStableFP(week));
+  }
+  return out;
+}
+
+json::Value SummaryJson(const std::vector<double>& xs) {
+  const stats::Summary s = stats::Summarize(xs);
+  json::Object o;
+  o.set("mean", s.mean);
+  o.set("p10", stats::Quantile(xs, 0.1));
+  o.set("p50", stats::Quantile(xs, 0.5));
+  o.set("p90", stats::Quantile(xs, 0.9));
+  o.set("min", s.min);
+  o.set("max", s.max);
+  return json::Value(std::move(o));
+}
+
+json::Value SeriesJson(const std::vector<double>& xs, std::size_t points) {
+  json::Object o;
+  o.set("length", xs.size());
+  json::Array samples;
+  const std::size_t step = std::max<std::size_t>(1, xs.size() / points);
+  for (std::size_t t = 0; t < xs.size(); t += step) {
+    json::Array pair;
+    pair.push_back(json::Value(t));
+    pair.push_back(json::Value(xs[t]));
+    samples.push_back(json::Value(std::move(pair)));
+  }
+  o.set("samples", json::Value(std::move(samples)));
+  return json::Value(std::move(o));
+}
+
+json::Value VectorJson(const std::vector<double>& xs) {
+  json::Array a;
+  a.reserve(xs.size());
+  for (const double x : xs) a.push_back(json::Value(x));
+  return json::Value(std::move(a));
+}
+
+bool AllFinite(const std::vector<double>& xs) {
+  for (const double x : xs) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace ictm::scenario

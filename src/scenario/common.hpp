@@ -1,0 +1,61 @@
+// Shared setup for the built-in scenarios: the canonical dataset
+// configurations the bench harnesses used (peak activity reduced from
+// the realistic default to keep each scenario under a minute — the
+// gravity/IC comparison is insensitive to absolute scale), their tiny
+// 6-node counterparts for tests, and JSON builders for the summary
+// statistics every figure reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/fit.hpp"
+#include "dataset/datasets.hpp"
+#include "scenario/json.hpp"
+#include "scenario/scenario.hpp"
+
+namespace ictm::scenario {
+
+/// Géant-like dataset configuration shared across scenarios.
+dataset::DatasetConfig GeantConfig(std::uint64_t seed);
+/// Totem-like dataset configuration shared across scenarios.
+dataset::DatasetConfig TotemConfig(std::uint64_t seed);
+
+/// Scale-aware dataset builder: full scale uses the 22-node Géant-like
+/// or 23-node Totem-like paper shapes; tiny uses a 6-node, 42-bins-
+/// per-week equivalent so every scenario also runs in tests.
+dataset::Dataset MakeScenarioDataset(const ScenarioContext& ctx,
+                                     bool totem,
+                                     std::uint64_t canonicalSeed,
+                                     std::size_t weeks = 1);
+
+/// Generates `weeks` of data and fits the stable-fP model to each week
+/// separately (used by Figs. 5-9).
+struct WeeklyFitResult {
+  /// The generated dataset spanning all weeks.
+  dataset::Dataset data;
+  /// One stable-fP fit per week.
+  std::vector<core::StableFPFit> fits;
+};
+
+/// Builds the dataset and runs the per-week fits.
+WeeklyFitResult FitWeekly(const ScenarioContext& ctx, bool totem,
+                          std::size_t weeks, std::uint64_t canonicalSeed);
+
+/// {"mean","p10","p50","p90","min","max"} of a sample.
+json::Value SummaryJson(const std::vector<double>& xs);
+
+/// Downsampled rendering of a series: up to `points` evenly spaced
+/// [index, value] pairs plus the full length, mirroring the benches'
+/// PrintSeries.
+json::Value SeriesJson(const std::vector<double>& xs,
+                       std::size_t points = 16);
+
+/// A numeric vector as a JSON array (linalg::Vector is an alias of
+/// std::vector<double>, so this covers both).
+json::Value VectorJson(const std::vector<double>& xs);
+
+/// True when every element is finite.
+bool AllFinite(const std::vector<double>& xs);
+
+}  // namespace ictm::scenario

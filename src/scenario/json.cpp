@@ -1,0 +1,343 @@
+#include "scenario/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace ictm::scenario::json {
+
+void Object::set(std::string key, Value value) {
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+const Value* Object::find(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool Value::asBool() const {
+  ICTM_REQUIRE(isBool(), "JSON value is not a bool");
+  return std::get<bool>(data_);
+}
+
+double Value::asDouble() const {
+  ICTM_REQUIRE(isNumber(), "JSON value is not a number");
+  if (std::holds_alternative<std::int64_t>(data_)) {
+    return static_cast<double>(std::get<std::int64_t>(data_));
+  }
+  return std::get<double>(data_);
+}
+
+std::int64_t Value::asInt() const {
+  ICTM_REQUIRE(isInteger(), "JSON value is not an integer");
+  return std::get<std::int64_t>(data_);
+}
+
+const std::string& Value::asString() const {
+  ICTM_REQUIRE(isString(), "JSON value is not a string");
+  return std::get<std::string>(data_);
+}
+
+const Array& Value::asArray() const {
+  ICTM_REQUIRE(isArray(), "JSON value is not an array");
+  return std::get<Array>(data_);
+}
+
+const Object& Value::asObject() const {
+  ICTM_REQUIRE(isObject(), "JSON value is not an object");
+  return std::get<Object>(data_);
+}
+
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendNumber(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    out += "null";  // JSON has no NaN/Inf
+    return;
+  }
+  // std::to_chars emits the shortest representation that round-trips,
+  // independent of locale — the determinism workhorse.
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, d);
+  out.append(buf, res.ptr);
+}
+
+void Dump(const Value& v, std::string& out, int indent, int depth) {
+  const std::string pad(indent > 0 ? std::size_t(indent) * (depth + 1) : 0,
+                        ' ');
+  const std::string padEnd(indent > 0 ? std::size_t(indent) * depth : 0,
+                           ' ');
+  if (v.isNull()) {
+    out += "null";
+  } else if (v.isBool()) {
+    out += v.asBool() ? "true" : "false";
+  } else if (v.isString()) {
+    AppendEscaped(out, v.asString());
+  } else if (v.isInteger()) {
+    char buf[24];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v.asInt());
+    out.append(buf, res.ptr);
+  } else if (v.isNumber()) {
+    AppendNumber(out, v.asDouble());
+  } else if (v.isArray()) {
+    const Array& a = v.asArray();
+    out += '[';
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (i > 0) out += ',';
+      if (indent > 0) {
+        out += '\n';
+        out += pad;
+      }
+      Dump(a[i], out, indent, depth + 1);
+    }
+    if (indent > 0 && !a.empty()) {
+      out += '\n';
+      out += padEnd;
+    }
+    out += ']';
+  } else {
+    const Object& o = v.asObject();
+    out += '{';
+    for (std::size_t i = 0; i < o.size(); ++i) {
+      if (i > 0) out += ',';
+      if (indent > 0) {
+        out += '\n';
+        out += pad;
+      }
+      AppendEscaped(out, o.members()[i].first);
+      out += indent > 0 ? ": " : ":";
+      Dump(o.members()[i].second, out, indent, depth + 1);
+    }
+    if (indent > 0 && o.size() > 0) {
+      out += '\n';
+      out += padEnd;
+    }
+    out += '}';
+  }
+}
+
+}  // namespace
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  Dump(*this, out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+// ---- parser ----------------------------------------------------------------
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw Error("JSON parse error at offset " + std::to_string(pos) +
+                ": " + why);
+  }
+
+  void skipWs() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  char peek() {
+    if (pos >= text.size()) fail("unexpected end of input");
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+
+  bool consume(const char* literal) {
+    const std::size_t len = std::char_traits<char>::length(literal);
+    if (text.compare(pos, len, literal) == 0) {
+      pos += len;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos >= text.size()) fail("unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos >= text.size()) fail("unterminated escape");
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += unsigned(h - '0');
+              else if (h >= 'a' && h <= 'f') code += unsigned(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code += unsigned(h - 'A' + 10);
+              else fail("bad hex digit in \\u escape");
+            }
+            // Scenario files only escape control characters; encode the
+            // code point as UTF-8 (BMP only, no surrogate pairing).
+            if (code < 0x80) {
+              out += char(code);
+            } else if (code < 0x800) {
+              out += char(0xC0 | (code >> 6));
+              out += char(0x80 | (code & 0x3F));
+            } else {
+              out += char(0xE0 | (code >> 12));
+              out += char(0x80 | ((code >> 6) & 0x3F));
+              out += char(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Value parseNumber() {
+    const std::size_t start = pos;
+    if (peek() == '-') ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-')) {
+      ++pos;
+    }
+    const std::string tok = text.substr(start, pos - start);
+    if (tok.find('.') == std::string::npos &&
+        tok.find('e') == std::string::npos &&
+        tok.find('E') == std::string::npos) {
+      std::int64_t i = 0;
+      const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), i);
+      if (res.ec == std::errc() && res.ptr == tok.data() + tok.size()) {
+        return Value(i);
+      }
+    }
+    double d = 0.0;
+    const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (res.ec != std::errc() || res.ptr != tok.data() + tok.size()) {
+      fail("malformed number '" + tok + "'");
+    }
+    return Value(d);
+  }
+
+  Value parseValue() {
+    skipWs();
+    const char c = peek();
+    if (c == '{') {
+      ++pos;
+      Object obj;
+      skipWs();
+      if (peek() == '}') {
+        ++pos;
+        return Value(std::move(obj));
+      }
+      while (true) {
+        skipWs();
+        std::string key = parseString();
+        skipWs();
+        expect(':');
+        obj.set(std::move(key), parseValue());
+        skipWs();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect('}');
+        return Value(std::move(obj));
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      Array arr;
+      skipWs();
+      if (peek() == ']') {
+        ++pos;
+        return Value(std::move(arr));
+      }
+      while (true) {
+        arr.push_back(parseValue());
+        skipWs();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect(']');
+        return Value(std::move(arr));
+      }
+    }
+    if (c == '"') return Value(parseString());
+    if (consume("true")) return Value(true);
+    if (consume("false")) return Value(false);
+    if (consume("null")) return Value();
+    return parseNumber();
+  }
+};
+
+}  // namespace
+
+Value Parse(const std::string& text) {
+  Parser p{text};
+  Value v = p.parseValue();
+  p.skipWs();
+  if (p.pos != text.size()) p.fail("trailing characters after document");
+  return v;
+}
+
+}  // namespace ictm::scenario::json

@@ -1,0 +1,134 @@
+// Minimal JSON document model for scenario results.
+//
+// Design goals, in order: deterministic serialisation (insertion-
+// ordered object keys, shortest-round-trip number formatting via
+// std::to_chars, no locale dependence), a small surface, and zero
+// third-party dependencies.  Two runs that build the same document
+// produce byte-identical text — the property the scenario runner's
+// threads=N ≡ threads=1 contract rests on.  A strict parser is
+// included so tests (and tools) can round-trip result files.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+/// Deterministic JSON document model used by the scenario results.
+namespace ictm::scenario::json {
+
+class Value;
+
+/// JSON array: an ordered sequence of values.
+using Array = std::vector<Value>;
+
+/// JSON object preserving key insertion order — serialising the same
+/// build sequence always yields the same text (std::map ordering would
+/// also be deterministic, but insertion order keeps the emitted files
+/// in the reading order the scenarios intend).
+class Object {
+ public:
+  /// Appends `key` (or overwrites it in place when already present).
+  void set(std::string key, Value value);
+  /// Pointer to the value stored under `key`, or nullptr.
+  const Value* find(const std::string& key) const;
+  /// Number of members.
+  std::size_t size() const noexcept { return members_.size(); }
+  /// The members in insertion order.
+  const std::vector<std::pair<std::string, Value>>& members() const
+      noexcept {
+    return members_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// A JSON value: null, bool, integer, double, string, array or object.
+/// Integers are kept distinct from doubles so counts serialise without
+/// a decimal point.
+class Value {
+ public:
+  /// Constructs null.
+  Value() : data_(nullptr) {}
+  /// Constructs a boolean.
+  Value(bool b) : data_(b) {}
+  /// Constructs an integer.
+  Value(std::int64_t i) : data_(i) {}
+  /// Constructs an integer (convenience for sizes/counts).
+  Value(std::size_t i) : data_(static_cast<std::int64_t>(i)) {}
+  /// Constructs an integer (convenience for literals).
+  Value(int i) : data_(static_cast<std::int64_t>(i)) {}
+  /// Constructs a double; non-finite values serialise as null (JSON
+  /// has no NaN/Inf) — scenarios record finiteness checks separately.
+  Value(double d) : data_(d) {}
+  /// Constructs a string.
+  Value(std::string s) : data_(std::move(s)) {}
+  /// Constructs a string from a literal.
+  Value(const char* s) : data_(std::string(s)) {}
+  /// Constructs an array.
+  Value(Array a) : data_(std::move(a)) {}
+  /// Constructs an object.
+  Value(Object o) : data_(std::move(o)) {}
+
+  /// True when the value is null.
+  bool isNull() const noexcept {
+    return std::holds_alternative<std::nullptr_t>(data_);
+  }
+  /// True when the value is a boolean.
+  bool isBool() const noexcept {
+    return std::holds_alternative<bool>(data_);
+  }
+  /// True when the value is an integer or a double.
+  bool isNumber() const noexcept {
+    return std::holds_alternative<std::int64_t>(data_) ||
+           std::holds_alternative<double>(data_);
+  }
+  /// True when the value is specifically an integer.
+  bool isInteger() const noexcept {
+    return std::holds_alternative<std::int64_t>(data_);
+  }
+  /// True when the value is a string.
+  bool isString() const noexcept {
+    return std::holds_alternative<std::string>(data_);
+  }
+  /// True when the value is an array.
+  bool isArray() const noexcept {
+    return std::holds_alternative<Array>(data_);
+  }
+  /// True when the value is an object.
+  bool isObject() const noexcept {
+    return std::holds_alternative<Object>(data_);
+  }
+
+  /// The boolean payload; throws when not a bool.
+  bool asBool() const;
+  /// The numeric payload as a double; throws when not a number.
+  double asDouble() const;
+  /// The integer payload; throws when not an integer.
+  std::int64_t asInt() const;
+  /// The string payload; throws when not a string.
+  const std::string& asString() const;
+  /// The array payload; throws when not an array.
+  const Array& asArray() const;
+  /// The object payload; throws when not an object.
+  const Object& asObject() const;
+
+  /// Serialises the value.  `indent` > 0 pretty-prints with that many
+  /// spaces per level; 0 emits compact single-line JSON.  Output is
+  /// byte-deterministic for equal documents.
+  std::string dump(int indent = 0) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string,
+               Array, Object>
+      data_;
+};
+
+/// Parses a complete JSON text (one value plus whitespace); throws
+/// ictm::Error on malformed input or trailing garbage.
+Value Parse(const std::string& text);
+
+}  // namespace ictm::scenario::json

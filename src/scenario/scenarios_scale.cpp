@@ -1,0 +1,191 @@
+// Scaling scenarios: the thread fan-outs of the estimation and
+// synthesis engines must be bit-identical for every thread count, and
+// should speed up on multicore hosts.  The correctness facts go into
+// the (deterministic) result document; wall-clock timings are
+// run-environment facts and go to the notes channel only, keeping
+// `ictm run all --threads N` output bit-identical to `--threads 1`.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "core/estimation.hpp"
+#include "core/gravity.hpp"
+#include "core/metrics.hpp"
+#include "core/synthesis.hpp"
+#include "scenario/builtin.hpp"
+#include "scenario/common.hpp"
+#include "topology/routing.hpp"
+#include "topology/topologies.hpp"
+
+namespace ictm::scenario::detail {
+
+namespace {
+
+/// Thread counts the determinism checks compare.  Fixed (rather than
+/// taken from the context) so the result document does not depend on
+/// the run environment.
+constexpr std::size_t kBaselineThreads = 1;
+constexpr std::size_t kFanoutThreads = 4;
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0)
+      .count();
+}
+
+bool BitIdentical(const traffic::TrafficMatrixSeries& a,
+                  const traffic::TrafficMatrixSeries& b) {
+  const std::size_t n = a.nodeCount();
+  if (b.nodeCount() != n || b.binCount() != a.binCount()) return false;
+  for (std::size_t t = 0; t < a.binCount(); ++t) {
+    const double* pa = a.binData(t);
+    const double* pb = b.binData(t);
+    for (std::size_t k = 0; k < n * n; ++k) {
+      if (pa[k] != pb[k]) return false;
+    }
+  }
+  return true;
+}
+
+void AppendTimingNote(std::string& notes, const char* what, double sec1,
+                      double secN) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "%s: %.3f s at %zu thread(s), %.3f s at %zu "
+                "(speedup %.2fx)\n",
+                what, sec1, kBaselineThreads, secN, kFanoutThreads,
+                secN > 0.0 ? sec1 / secN : 0.0);
+  notes += buf;
+}
+
+json::Value RunEstimationScale(const ScenarioContext& ctx,
+                               std::string& notes) {
+  const topology::Graph g =
+      ctx.tiny ? topology::MakeRing(6, 2) : topology::MakeGeant22();
+  const std::size_t n = g.nodeCount();
+  const std::size_t bins = ctx.tiny ? 24 : 504;
+  const linalg::CsrMatrix routing = topology::BuildRoutingCsr(g);
+
+  // Diurnally varying random traffic plus gravity priors from the
+  // marginals (the realistic worst case for the refinement: every OD
+  // pair active, dense prior support).
+  stats::Rng rng(ctx.seed(42));
+  traffic::TrafficMatrixSeries truth(n, bins, 300.0);
+  for (std::size_t t = 0; t < bins; ++t) {
+    const double diurnal =
+        1.0 + 0.5 * std::sin(2.0 * M_PI * double(t) / 288.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        truth(t, i, j) = diurnal * rng.uniform(1e6, 1e7);
+  }
+  const traffic::TrafficMatrixSeries priors =
+      core::GravityPredictSeries(truth);
+
+  core::EstimationOptions options;
+  options.threads = kBaselineThreads;
+  auto t0 = std::chrono::steady_clock::now();
+  const auto est1 = core::EstimateSeries(routing, truth, priors, options);
+  const double sec1 = SecondsSince(t0);
+
+  options.threads = kFanoutThreads;
+  t0 = std::chrono::steady_clock::now();
+  const auto estN = core::EstimateSeries(routing, truth, priors, options);
+  const double secN = SecondsSince(t0);
+  AppendTimingNote(notes, "EstimateSeries", sec1, secN);
+
+  const bool identical = BitIdentical(est1, estN);
+  const auto errEst = core::RelL2TemporalSeries(truth, est1);
+  const auto errPrior = core::RelL2TemporalSeries(truth, priors);
+
+  json::Object body;
+  body.set("nodes", n);
+  body.set("links", g.linkCount());
+  body.set("bins", bins);
+  body.set("threads_compared", json::Array{json::Value(kBaselineThreads),
+                                           json::Value(kFanoutThreads)});
+  body.set("bit_identical_across_threads", identical);
+  body.set("est_err_summary", SummaryJson(errEst));
+  body.set("prior_err_summary", SummaryJson(errPrior));
+  body.set("improvement_pct_mean",
+           core::Mean(core::PercentImprovementSeries(errPrior, errEst)));
+  body.set("pass", identical && AllFinite(errEst));
+  return json::Value(std::move(body));
+}
+
+json::Value RunSynthesisScale(const ScenarioContext& ctx,
+                              std::string& notes) {
+  core::SynthesisConfig cfg;
+  if (ctx.tiny) {
+    cfg.nodes = 6;
+    cfg.bins = 42;
+    cfg.activityModel.profile.binsPerDay = 6;
+  } else {
+    cfg.nodes = 22;
+    cfg.bins = 2016;  // one week of 5-minute bins
+  }
+
+  cfg.threads = kBaselineThreads;
+  stats::Rng rng1(ctx.seed(7));
+  auto t0 = std::chrono::steady_clock::now();
+  const core::SyntheticTm synth1 = core::GenerateSyntheticTm(cfg, rng1);
+  const double sec1 = SecondsSince(t0);
+
+  cfg.threads = kFanoutThreads;
+  stats::Rng rngN(ctx.seed(7));
+  t0 = std::chrono::steady_clock::now();
+  const core::SyntheticTm synthN = core::GenerateSyntheticTm(cfg, rngN);
+  const double secN = SecondsSince(t0);
+  AppendTimingNote(notes, "GenerateSyntheticTm", sec1, secN);
+
+  bool identical = BitIdentical(synth1.series, synthN.series);
+  for (std::size_t i = 0; i < synth1.preference.size(); ++i) {
+    identical = identical &&
+                synth1.preference[i] == synthN.preference[i];
+  }
+  for (std::size_t i = 0; i < cfg.nodes && identical; ++i) {
+    for (std::size_t t = 0; t < cfg.bins; ++t) {
+      if (synth1.activitySeries(i, t) != synthN.activitySeries(i, t)) {
+        identical = false;
+        break;
+      }
+    }
+  }
+
+  std::vector<double> totals(synth1.series.binCount());
+  for (std::size_t t = 0; t < totals.size(); ++t)
+    totals[t] = synth1.series.total(t);
+
+  json::Object body;
+  body.set("nodes", cfg.nodes);
+  body.set("bins", cfg.bins);
+  body.set("f", cfg.f);
+  body.set("threads_compared", json::Array{json::Value(kBaselineThreads),
+                                           json::Value(kFanoutThreads)});
+  body.set("bit_identical_across_threads", identical);
+  body.set("total_traffic_summary", SummaryJson(totals));
+  body.set("preference", VectorJson(synth1.preference));
+  body.set("pass", identical && AllFinite(totals) &&
+                       synth1.series.isValid());
+  return json::Value(std::move(body));
+}
+
+}  // namespace
+
+void RegisterScaleScenarios() {
+  RegisterScenario(
+      {"estimation_scale", "repo",
+       "estimation thread fan-out: determinism and scaling",
+       "EstimateSeries is bit-identical for every thread count and "
+       "speeds up on multicore hosts (see also "
+       "bench_estimation_scale for the legacy-baseline comparison)"},
+      RunEstimationScale);
+  RegisterScenario(
+      {"synthesis_scale", "repo",
+       "synthesis thread fan-out: determinism and scaling",
+       "GenerateSyntheticTm is bit-identical for every thread count; "
+       "per-node activity generation and per-bin composition fan out "
+       "across workers"},
+      RunSynthesisScale);
+}
+
+}  // namespace ictm::scenario::detail

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.hpp"
+
 namespace ictm::timeseries {
 
 std::vector<double> GenerateActivitySeries(const ActivityModel& model,
@@ -42,11 +44,16 @@ std::vector<double> GenerateActivitySeries(const ActivityModel& model,
 
 std::vector<std::vector<double>> GenerateActivityEnsemble(
     std::size_t n, std::size_t bins, const ActivityModel& base,
-    double peakLogSigma, stats::Rng& rng) {
+    double peakLogSigma, stats::Rng& rng, std::size_t threads) {
   ICTM_REQUIRE(n > 0, "ensemble must contain at least one node");
   ICTM_REQUIRE(peakLogSigma >= 0.0, "peakLogSigma must be >= 0");
-  std::vector<std::vector<double>> out;
-  out.reserve(n);
+  // Serial pass: consume the master RNG in node order so the draw
+  // sequence (and hence every series) is independent of the thread
+  // count, stashing one (model, child RNG) pair per node.
+  std::vector<ActivityModel> models;
+  std::vector<stats::Rng> children;
+  models.reserve(n);
+  children.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     ActivityModel m = base;
     m.peakLevel = base.peakLevel *
@@ -62,9 +69,15 @@ std::vector<std::vector<double>> GenerateActivityEnsemble(
     m.profile.secondHarmonic =
         std::clamp(base.profile.secondHarmonic +
                        rng.gaussian(0.0, 0.08), 0.0, 0.5);
-    stats::Rng child = rng.fork();
-    out.push_back(GenerateActivitySeries(m, bins, child));
+    models.push_back(m);
+    children.push_back(rng.fork());
   }
+  // Parallel pass: each node's series depends only on its own child
+  // RNG, so the fan-out writes disjoint slots.
+  std::vector<std::vector<double>> out(n);
+  ParallelFor(0, n, threads, [&](std::size_t i) {
+    out[i] = GenerateActivitySeries(models[i], bins, children[i]);
+  });
   return out;
 }
 

@@ -39,8 +39,14 @@ std::vector<double> GenerateActivitySeries(const ActivityModel& model,
 /// profile shapes (night floor, weekend depth, peak hour) are jittered
 /// so nodes are heterogeneous, as real PoPs serving different user
 /// populations and time zones are.  Returns n series of length `bins`.
+///
+/// The per-node draws (model jitter + child RNG fork) are consumed
+/// from `rng` serially in node order; the series themselves are then
+/// generated from the pre-forked child RNGs fanned out across
+/// `threads` workers (0 = all hardware threads), so the result is
+/// bit-identical for every thread count.
 std::vector<std::vector<double>> GenerateActivityEnsemble(
     std::size_t n, std::size_t bins, const ActivityModel& base,
-    double peakLogSigma, stats::Rng& rng);
+    double peakLogSigma, stats::Rng& rng, std::size_t threads = 1);
 
 }  // namespace ictm::timeseries

@@ -1,0 +1,249 @@
+// Scenario registry, runner and JSON determinism tests, plus the
+// synthesis threads=N ≡ threads=1 regression.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "core/synthesis.hpp"
+#include "scenario/common.hpp"
+#include "scenario/json.hpp"
+#include "scenario/scenario.hpp"
+#include "stats/rng.hpp"
+#include "test_util.hpp"
+
+namespace ictm {
+namespace {
+
+using scenario::json::Parse;
+using scenario::json::Value;
+
+// ---- JSON document model ---------------------------------------------------
+
+TEST(Json, SerializesDeterministically) {
+  scenario::json::Object o;
+  o.set("b_first", 1);
+  o.set("a_second", 0.5);
+  o.set("nested", Value(scenario::json::Array{Value(true), Value()}));
+  const Value v{std::move(o)};
+  // Insertion order is preserved; equal documents dump identically.
+  EXPECT_EQ(v.dump(),
+            "{\"b_first\":1,\"a_second\":0.5,\"nested\":[true,null]}");
+  EXPECT_EQ(v.dump(2), v.dump(2));
+}
+
+TEST(Json, NumbersRoundTripShortest) {
+  EXPECT_EQ(Value(0.1).dump(), "0.1");
+  EXPECT_EQ(Value(1.0 / 3.0).dump(), "0.3333333333333333");
+  EXPECT_EQ(Value(std::int64_t{42}).dump(), "42");
+  EXPECT_EQ(Value(-1.5e-300).dump(), "-1.5e-300");
+  // Non-finite doubles serialise as null.
+  EXPECT_EQ(Value(std::nan("")).dump(), "null");
+}
+
+TEST(Json, EscapesStrings) {
+  EXPECT_EQ(Value("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(Json, ParseRoundTrip) {
+  const std::string text =
+      "{\"a\":[1,2.5,\"x\",true,false,null],\"b\":{\"c\":-3}}";
+  const Value v = Parse(text);
+  EXPECT_EQ(v.dump(), text);
+  EXPECT_EQ(v.asObject().find("b")->asObject().find("c")->asInt(), -3);
+}
+
+TEST(Json, ParseRejectsMalformed) {
+  EXPECT_THROW(Parse("{"), Error);
+  EXPECT_THROW(Parse("[1,]2"), Error);
+  EXPECT_THROW(Parse("{\"a\":1} trailing"), Error);
+  EXPECT_THROW(Parse("nulL"), Error);
+}
+
+TEST(Json, PrettyPrintParses) {
+  scenario::json::Object o;
+  o.set("xs", Value(scenario::json::Array{Value(1), Value(2)}));
+  o.set("s", "hi");
+  const Value v{std::move(o)};
+  const Value reparsed = Parse(v.dump(2));
+  EXPECT_EQ(reparsed.dump(), v.dump());
+}
+
+// ---- registry --------------------------------------------------------------
+
+TEST(ScenarioRegistry, ListsAtLeastSeventeenUniqueScenarios) {
+  const auto& all = scenario::ListScenarios();
+  EXPECT_GE(all.size(), 17u);
+  std::set<std::string> names;
+  for (const auto& info : all) {
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_FALSE(info.title.empty());
+    EXPECT_FALSE(info.expectation.empty());
+    EXPECT_TRUE(names.insert(info.name).second)
+        << "duplicate scenario name: " << info.name;
+    EXPECT_TRUE(scenario::HasScenario(info.name));
+  }
+}
+
+TEST(ScenarioRegistry, CoversEveryPaperFigure) {
+  for (const char* name :
+       {"fig2_example", "fig3_model_fit", "fig4_f_traces",
+        "fig5_f_stability", "fig6_p_stability", "fig7_p_ccdf",
+        "fig8_p_vs_egress", "fig9_activity_series",
+        "fig10_activity_estimates", "fig11_est_measured",
+        "fig12_est_stable_fp", "fig13_est_stable_f", "dof_table",
+        "asymmetry_ablation", "synthesis_ablation", "estimation_scale",
+        "synthesis_scale", "whatif_hotspot"}) {
+    EXPECT_TRUE(scenario::HasScenario(name)) << name;
+  }
+}
+
+TEST(ScenarioRegistry, RejectsUnknownNames) {
+  scenario::ScenarioContext ctx;
+  EXPECT_FALSE(scenario::HasScenario("no_such_scenario"));
+  EXPECT_THROW(scenario::RunScenario("no_such_scenario", ctx), Error);
+}
+
+// ---- running every scenario on the tiny configuration ----------------------
+
+scenario::ScenarioContext TinyContext(std::size_t threads = 2) {
+  scenario::ScenarioContext ctx;
+  ctx.tiny = true;
+  ctx.threads = threads;
+  return ctx;
+}
+
+void ExpectSchemaValid(const scenario::ScenarioResult& r) {
+  ASSERT_TRUE(r.error.empty()) << r.info.name << ": " << r.error;
+  // The document must survive a serialise/parse round trip …
+  const std::string text = r.doc.dump(2);
+  const Value reparsed = Parse(text);
+  EXPECT_EQ(reparsed.dump(2), text) << r.info.name;
+  // … and carry the envelope schema.
+  const auto& obj = reparsed.asObject();
+  ASSERT_NE(obj.find("schema"), nullptr) << r.info.name;
+  EXPECT_EQ(obj.find("schema")->asString(), "ictm-scenario-result-v1");
+  ASSERT_NE(obj.find("scenario"), nullptr);
+  EXPECT_EQ(obj.find("scenario")->asString(), r.info.name);
+  for (const char* key :
+       {"artifact", "title", "expectation", "scale"}) {
+    ASSERT_NE(obj.find(key), nullptr) << r.info.name << " lacks " << key;
+    EXPECT_TRUE(obj.find(key)->isString());
+  }
+  ASSERT_NE(obj.find("seed_offset"), nullptr);
+  EXPECT_TRUE(obj.find("seed_offset")->isInteger());
+  ASSERT_NE(obj.find("pass"), nullptr);
+  EXPECT_TRUE(obj.find("pass")->isBool());
+  ASSERT_NE(obj.find("results"), nullptr);
+  EXPECT_TRUE(obj.find("results")->isObject());
+}
+
+TEST(ScenarioRun, EveryScenarioPassesOnTinyConfigWithValidJson) {
+  for (const auto& info : scenario::ListScenarios()) {
+    SCOPED_TRACE(info.name);
+    const auto r = scenario::RunScenario(info.name, TinyContext());
+    ExpectSchemaValid(r);
+    EXPECT_TRUE(r.pass) << info.name << " failed: " << r.doc.dump(2);
+  }
+}
+
+TEST(ScenarioRun, DeterministicForFixedSeedAndAcrossThreadCounts) {
+  for (const auto& info : scenario::ListScenarios()) {
+    SCOPED_TRACE(info.name);
+    const auto a = scenario::RunScenario(info.name, TinyContext(1));
+    const auto b = scenario::RunScenario(info.name, TinyContext(1));
+    const auto c = scenario::RunScenario(info.name, TinyContext(4));
+    ASSERT_TRUE(a.error.empty()) << a.error;
+    // Same seed, same scale → byte-identical documents, regardless of
+    // the thread count (the runner's determinism contract).
+    EXPECT_EQ(a.doc.dump(2), b.doc.dump(2));
+    EXPECT_EQ(a.doc.dump(2), c.doc.dump(2));
+  }
+}
+
+TEST(ScenarioRun, SeedOffsetChangesDataNotSchema) {
+  scenario::ScenarioContext shifted = TinyContext();
+  shifted.seedOffset = 1;
+  const auto base =
+      scenario::RunScenario("fig3_model_fit", TinyContext());
+  const auto moved = scenario::RunScenario("fig3_model_fit", shifted);
+  ExpectSchemaValid(moved);
+  EXPECT_NE(base.doc.dump(2), moved.doc.dump(2));
+}
+
+TEST(ScenarioRun, ParallelRunnerMatchesSerialRuns) {
+  const std::vector<std::string> names{"fig2_example", "dof_table",
+                                      "whatif_hotspot"};
+  const auto ctx = TinyContext();
+  const auto fanned = scenario::RunScenarios(names, ctx, 3);
+  ASSERT_EQ(fanned.size(), names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(fanned[i].info.name, names[i]);
+    const auto solo = scenario::RunScenario(names[i], ctx);
+    EXPECT_EQ(fanned[i].doc.dump(2), solo.doc.dump(2));
+  }
+}
+
+TEST(ScenarioRun, WriteResultFilesEmitsParsableFilesAndManifest) {
+  const auto ctx = TinyContext();
+  const auto results =
+      scenario::RunScenarios({"fig2_example", "dof_table"}, ctx, 2);
+  const std::string dir =
+      ::testing::TempDir() + "/ictm_scenario_results";
+  scenario::WriteResultFiles(results, ctx, dir);
+
+  for (const char* name : {"fig2_example", "dof_table"}) {
+    std::ifstream is(dir + "/" + name + ".json");
+    ASSERT_TRUE(is.good()) << name;
+    std::stringstream ss;
+    ss << is.rdbuf();
+    const Value v = Parse(ss.str());
+    EXPECT_EQ(v.asObject().find("scenario")->asString(), name);
+  }
+  std::ifstream is(dir + "/manifest.json");
+  ASSERT_TRUE(is.good());
+  std::stringstream ss;
+  ss << is.rdbuf();
+  const Value manifest = Parse(ss.str());
+  EXPECT_EQ(manifest.asObject().find("schema")->asString(),
+            "ictm-scenario-manifest-v1");
+  EXPECT_EQ(manifest.asObject().find("scenarios")->asArray().size(), 2u);
+}
+
+// ---- synthesis threads=N ≡ threads=1 regression ----------------------------
+
+TEST(SynthesisParallel, ThreadedGenerationIsBitIdentical) {
+  core::SynthesisConfig cfg;
+  cfg.nodes = 9;
+  cfg.bins = 140;
+  cfg.activityModel.profile.binsPerDay = 20;
+
+  cfg.threads = 1;
+  stats::Rng rng1(2024);
+  const core::SyntheticTm serial = core::GenerateSyntheticTm(cfg, rng1);
+
+  for (std::size_t threads : {2u, 4u, 9u, 0u}) {
+    cfg.threads = threads;
+    stats::Rng rngN(2024);
+    const core::SyntheticTm fanned = core::GenerateSyntheticTm(cfg, rngN);
+    SCOPED_TRACE(threads);
+    for (std::size_t i = 0; i < cfg.nodes; ++i) {
+      ASSERT_EQ(serial.preference[i], fanned.preference[i]);
+      for (std::size_t t = 0; t < cfg.bins; ++t) {
+        ASSERT_EQ(serial.activitySeries(i, t),
+                  fanned.activitySeries(i, t));
+      }
+    }
+    for (std::size_t t = 0; t < cfg.bins; ++t) {
+      const double* a = serial.series.binData(t);
+      const double* b = fanned.series.binData(t);
+      for (std::size_t k = 0; k < cfg.nodes * cfg.nodes; ++k) {
+        ASSERT_EQ(a[k], b[k]) << "bin " << t << " element " << k;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ictm

@@ -1,6 +1,9 @@
 // ictm — command-line front end for the library.
 //
 // Subcommands:
+//   list        list the registered experiment scenarios
+//   run         run scenarios (paper figures, ablations, what-ifs) and
+//               emit deterministic JSON results
 //   synthesize  generate a synthetic TM series (Sec. 5.5 recipe) to CSV
 //   fit         fit the stable-fP IC model to a TM CSV, print parameters
 //   gravity     gravity reconstruction error of a TM CSV
@@ -9,6 +12,9 @@
 //   fmeasure    simulate a packet trace pair and measure f (Sec. 5.2)
 //   estimate    tomogravity estimation of a TM CSV from its link loads
 //               (simulated SNMP on a canned topology), multi-threaded
+//
+// Exit codes: 0 success; 1 runtime error or a failed scenario check;
+// 2 usage error (also printed for no/unknown subcommands).
 //
 // All matrices use the CSV format of traffic/io.hpp.
 #include <algorithm>
@@ -31,6 +37,7 @@
 #include "core/metrics.hpp"
 #include "core/priors.hpp"
 #include "core/synthesis.hpp"
+#include "scenario/scenario.hpp"
 #include "topology/routing.hpp"
 #include "topology/topologies.hpp"
 #include "traffic/io.hpp"
@@ -42,6 +49,17 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
+               "  ictm list\n"
+               "      list the registered experiment scenarios\n"
+               "  ictm run <scenario...|all> [--threads N] [--out DIR]\n"
+               "           [--seed S] [--tiny]\n"
+               "      run scenarios; deterministic JSON per scenario\n"
+               "      (bit-identical for every --threads value) goes to\n"
+               "      DIR/<scenario>.json plus DIR/manifest.json, or to\n"
+               "      stdout without --out\n"
+               "      --threads N  worker fan-out (0 = all cores; default)\n"
+               "      --seed S     offset added to the canonical seeds\n"
+               "      --tiny       reduced 6-node smoke configuration\n"
                "  ictm synthesize <out.csv> [nodes] [bins] [f] [seed]\n"
                "  ictm fit <tm.csv>\n"
                "  ictm gravity <tm.csv>\n"
@@ -51,8 +69,109 @@ int Usage() {
                "      topology: auto (default), geant22, totem23,\n"
                "                abilene11 — auto picks by node count\n"
                "      threads:  worker threads for the per-bin fan-out\n"
-               "                (0 = all cores, the default)\n");
+               "                (0 = all cores, the default)\n"
+               "exit codes: 0 success; 1 runtime error or failed scenario\n"
+               "check; 2 usage error\n");
   return 2;
+}
+
+int CmdList() {
+  const auto& scenarios = scenario::ListScenarios();
+  std::printf("%zu registered scenarios:\n\n", scenarios.size());
+  for (const auto& info : scenarios) {
+    std::printf("  %-26s %-18s %s\n", info.name.c_str(),
+                info.artifact.c_str(), info.title.c_str());
+  }
+  std::printf("\nrun one with: ictm run <name>   (or: ictm run all)\n");
+  return 0;
+}
+
+int CmdRun(int argc, char** argv) {
+  scenario::ScenarioContext ctx;
+  ctx.threads = 0;  // saturate by default
+  std::vector<std::string> names;
+  std::string outDir;
+  bool runAll = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tiny") {
+      ctx.tiny = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      ctx.threads = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--seed" && i + 1 < argc) {
+      ctx.seedOffset = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--out" && i + 1 < argc) {
+      outDir = argv[++i];
+    } else if (arg == "all") {
+      runAll = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    } else {
+      if (!scenario::HasScenario(arg)) {
+        std::fprintf(stderr,
+                     "unknown scenario: %s (see `ictm list`)\n",
+                     arg.c_str());
+        return 2;
+      }
+      names.push_back(arg);
+    }
+  }
+  if (runAll) {
+    names.clear();
+    for (const auto& info : scenario::ListScenarios()) {
+      names.push_back(info.name);
+    }
+  }
+  if (names.empty()) return Usage();
+
+  // Split the thread budget between the scenario-level fan-out and
+  // each scenario's inner kernels instead of multiplying them (inner
+  // thread counts never change results, only wall clock).
+  const std::size_t budget = ResolveThreadCount(ctx.threads);
+  const std::size_t workers = std::min(budget, names.size());
+  ctx.threads = std::max<std::size_t>(1, budget / workers);
+  std::printf("running %zu scenario(s) across %zu worker(s), %zu inner "
+              "thread(s) each%s...\n",
+              names.size(), workers, ctx.threads,
+              ctx.tiny ? " [tiny]" : "");
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto results = scenario::RunScenarios(names, ctx, workers);
+  const double sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count();
+
+  bool allPass = true;
+  for (const auto& r : results) {
+    if (!r.error.empty()) {
+      std::printf("  [ERROR] %-26s %s\n", r.info.name.c_str(),
+                  r.error.c_str());
+      allPass = false;
+      continue;
+    }
+    std::printf("  [%s] %-26s %6.2f s\n", r.pass ? "PASS" : "FAIL",
+                r.info.name.c_str(), r.seconds);
+    if (!r.notes.empty()) {
+      std::printf("%s", r.notes.c_str());
+    }
+    allPass = allPass && r.pass;
+  }
+  std::printf("%zu scenario(s) in %.2f s wall clock\n", results.size(),
+              sec);
+
+  if (!outDir.empty()) {
+    scenario::WriteResultFiles(results, ctx, outDir);
+    std::printf("results written to %s/<scenario>.json\n",
+                outDir.c_str());
+  } else {
+    for (const auto& r : results) {
+      if (r.error.empty()) std::printf("%s", r.doc.dump(2).c_str());
+    }
+  }
+  return allPass ? 0 : 1;
 }
 
 double ArgOr(int argc, char** argv, int idx, double fallback) {
@@ -67,6 +186,7 @@ int CmdSynthesize(int argc, char** argv) {
   cfg.f = ArgOr(argc, argv, 5, 0.25);
   cfg.activityModel.profile.binsPerDay = std::max<std::size_t>(
       1, cfg.bins >= 7 ? cfg.bins / 7 : cfg.bins);
+  cfg.threads = 0;  // all cores; output is thread-count invariant
   stats::Rng rng(
       static_cast<std::uint64_t>(ArgOr(argc, argv, 6, 42)));
   const core::SyntheticTm synth = core::GenerateSyntheticTm(cfg, rng);
@@ -218,6 +338,8 @@ int CmdFMeasure(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   try {
+    if (std::strcmp(argv[1], "list") == 0) return CmdList();
+    if (std::strcmp(argv[1], "run") == 0) return CmdRun(argc, argv);
     if (std::strcmp(argv[1], "synthesize") == 0)
       return CmdSynthesize(argc, argv);
     if (std::strcmp(argv[1], "fit") == 0) return CmdFit(argc, argv);
