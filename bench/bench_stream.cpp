@@ -1,0 +1,128 @@
+// Streaming-subsystem benchmark: binary `ictmb` trace reads must beat
+// the equivalent CSV parse by >= 5x on a paper-scale series (>= 20
+// nodes, >= 2000 bins), and the online estimator is timed against the
+// batch engine on the same workload.
+//
+//   ./bench_stream [nodes] [bins] [threads]   # defaults: 22 2016 4
+//
+// Exit code 0 when the formats agree bit-for-bit and the >= 5x read
+// speedup holds; 1 otherwise.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/estimation.hpp"
+#include "scenario/common.hpp"
+#include "stats/rng.hpp"
+#include "stream/format.hpp"
+#include "stream/online.hpp"
+#include "topology/topologies.hpp"
+#include "topology/routing.hpp"
+#include "traffic/io.hpp"
+
+using namespace ictm;
+using scenario::BitIdentical;
+using scenario::SecondsSince;
+
+int main(int argc, char** argv) {
+  const std::size_t nodes =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 22;
+  const std::size_t bins =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 2016;
+  const std::size_t threads =
+      argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 4;
+
+  std::printf("== streaming subsystem benchmark: %zu nodes, %zu bins ==\n",
+              nodes, bins);
+  stats::Rng rng(42);
+  traffic::TrafficMatrixSeries series(nodes, bins, 300.0);
+  for (std::size_t t = 0; t < bins; ++t) {
+    double* bin = series.binData(t);
+    for (std::size_t k = 0; k < nodes * nodes; ++k) {
+      bin[k] = rng.uniform(1e5, 1e9);
+    }
+  }
+
+  namespace fs = std::filesystem;
+  // Per-process directory so concurrent invocations cannot clobber
+  // each other; removed on every exit path.
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("ictm_bench_stream_" + std::to_string(getpid()));
+  struct DirGuard {
+    fs::path path;
+    ~DirGuard() {
+      std::error_code ec;
+      fs::remove_all(path, ec);
+    }
+  } guard{dir};
+  fs::create_directories(dir);
+  const std::string csvPath = (dir / "series.csv").string();
+  const std::string tracePath = (dir / "series.ictmb").string();
+
+  auto t0 = std::chrono::steady_clock::now();
+  traffic::WriteCsvFile(csvPath, series);
+  const double csvWriteSec = SecondsSince(t0);
+  t0 = std::chrono::steady_clock::now();
+  stream::WriteTraceFile(tracePath, series);
+  const double traceWriteSec = SecondsSince(t0);
+  std::printf("write: CSV %.3f s (%zu bytes), binary %.3f s (%zu bytes)\n",
+              csvWriteSec, static_cast<std::size_t>(fs::file_size(csvPath)),
+              traceWriteSec,
+              static_cast<std::size_t>(fs::file_size(tracePath)));
+
+  // Best of three reps each, so one cold-cache read does not decide
+  // the comparison.
+  double csvSec = 1e30, traceSec = 1e30;
+  bool agree = true;
+  for (int rep = 0; rep < 3; ++rep) {
+    t0 = std::chrono::steady_clock::now();
+    const auto fromCsv = traffic::ReadCsvFile(csvPath);
+    csvSec = std::min(csvSec, SecondsSince(t0));
+    t0 = std::chrono::steady_clock::now();
+    const auto fromTrace = stream::ReadTraceFile(tracePath);
+    traceSec = std::min(traceSec, SecondsSince(t0));
+    agree = agree && BitIdentical(fromCsv, series) &&
+            BitIdentical(fromTrace, series);
+  }
+  const double speedup = traceSec > 0.0 ? csvSec / traceSec : 0.0;
+  std::printf("read (best of 3): CSV %.4f s, binary %.4f s -> %.1fx "
+              "faster\n",
+              csvSec, traceSec, speedup);
+  std::printf("round trips bit-identical: %s\n", agree ? "yes" : "NO");
+
+  // Online estimation throughput on the same series (streamed straight
+  // off the binary trace, as `ictm stream` does).
+  const topology::Graph g = nodes == 22
+                                ? topology::MakeGeant22()
+                                : topology::MakeRing(nodes, 2);
+  const linalg::CsrMatrix routing = topology::BuildRoutingCsr(g);
+  stream::StreamingOptions options;
+  options.threads = threads;
+  options.window = 96;
+  t0 = std::chrono::steady_clock::now();
+  const stream::StreamingRunResult run =
+      stream::EstimateSeriesStreaming(routing, series, options);
+  const double streamSec = SecondsSince(t0);
+
+  core::EstimationOptions batchOptions;
+  batchOptions.threads = threads;
+  t0 = std::chrono::steady_clock::now();
+  const auto batch =
+      core::EstimateSeries(routing, series, run.priors, batchOptions);
+  const double batchSec = SecondsSince(t0);
+  const bool matches = BitIdentical(batch, run.estimates);
+  std::printf("online estimation: %.3f s (%.0f bins/s) at %zu worker(s); "
+              "batch on the same priors: %.3f s; bit-identical: %s\n",
+              streamSec,
+              streamSec > 0.0 ? double(bins) / streamSec : 0.0, threads,
+              batchSec, matches ? "yes" : "NO");
+
+  const bool pass = agree && matches && speedup >= 5.0;
+  std::printf("[%s] binary reads %.1fx faster than CSV (need >= 5x)\n",
+              pass ? "PASS" : "FAIL", speedup);
+  return pass ? 0 : 1;
+}

@@ -67,79 +67,65 @@ void IpfInPlace(double* tm, std::size_t n, const double* rowTargets,
   }
 }
 
-// Augmented measurement operator A = [R; Q] in column-compressed form:
-// one column per OD pair holding that pair's few path links plus (with
-// marginal constraints) its ingress and egress rows.  Built once and
-// shared read-only by every bin worker.
-struct AugmentedSystem {
-  std::size_t n = 0;      // node count
-  std::size_t links = 0;  // routing-matrix rows
-  std::size_t rows = 0;   // links (+ 2n with marginal constraints)
-  linalg::CscMatrix a;    // rows x n²
+}  // namespace
 
-  AugmentedSystem(const linalg::CsrMatrix& routing, std::size_t nodes,
-                  bool marginals)
-      : n(nodes), links(routing.rows()) {
-    ICTM_REQUIRE(routing.cols() == n * n,
-                 "routing matrix column mismatch");
-    rows = marginals ? links + 2 * n : links;
-    std::vector<linalg::Triplet> entries;
-    entries.reserve(routing.nonZeros() + (marginals ? 2 * n * n : 0));
-    for (std::size_t r = 0; r < links; ++r) {
-      for (std::size_t k = routing.rowPtr()[r]; k < routing.rowPtr()[r + 1];
-           ++k) {
-        entries.push_back({r, routing.colIdx()[k], routing.values()[k]});
-      }
+AugmentedTmSystem::AugmentedTmSystem(const linalg::CsrMatrix& routing,
+                                     std::size_t nodes,
+                                     bool marginalConstraints)
+    : n_(nodes), links_(routing.rows()) {
+  ICTM_REQUIRE(routing.cols() == n_ * n_,
+               "routing matrix column mismatch");
+  rows_ = marginalConstraints ? links_ + 2 * n_ : links_;
+  std::vector<linalg::Triplet> entries;
+  entries.reserve(routing.nonZeros() +
+                  (marginalConstraints ? 2 * n_ * n_ : 0));
+  for (std::size_t r = 0; r < links_; ++r) {
+    for (std::size_t k = routing.rowPtr()[r]; k < routing.rowPtr()[r + 1];
+         ++k) {
+      entries.push_back({r, routing.colIdx()[k], routing.values()[k]});
     }
-    if (marginals) {
-      for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t j = 0; j < n; ++j) {
-          entries.push_back({links + i, i * n + j, 1.0});      // ingress row
-          entries.push_back({links + n + j, i * n + j, 1.0});  // egress row
-        }
-      }
-    }
-    a = linalg::CscMatrix::FromTriplets(rows, n * n, std::move(entries));
   }
-};
+  if (marginalConstraints) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t j = 0; j < n_; ++j) {
+        entries.push_back({links_ + i, i * n_ + j, 1.0});       // ingress row
+        entries.push_back({links_ + n_ + j, i * n_ + j, 1.0});  // egress row
+      }
+    }
+  }
+  a_ = linalg::CscMatrix::FromTriplets(rows_, n_ * n_, std::move(entries));
+}
 
-// Per-worker buffers reused across every bin the worker solves.
-struct BinScratch {
-  std::vector<double> d;  // rows: rhs, then the dual solution
-  std::vector<double> m;  // rows x rows: normal matrix, then its factor
+TmBinSolver::TmBinSolver(const AugmentedTmSystem& system,
+                         const EstimationOptions& options)
+    : system_(system),
+      options_(options),
+      d_(system.rowCount(), 0.0),
+      m_(system.rowCount() * system.rowCount(), 0.0) {}
 
-  explicit BinScratch(const AugmentedSystem& sys)
-      : d(sys.rows, 0.0), m(sys.rows * sys.rows, 0.0) {}
-};
-
-// One bin of the three-step pipeline (Sec. 6): prior-weighted
-// least-squares refinement of `priorBin` against the link loads (and
-// marginals), clamped non-negative, then IPF onto the marginals.
-// `priorBin`/`outBin` are row-major n x n buffers in FlattenTm order;
-// they may not alias.
-void SolveBin(const AugmentedSystem& sys, const double* linkLoads,
-              const double* priorBin, const double* ingress,
-              const double* egress, const EstimationOptions& options,
-              BinScratch& s, double* outBin) {
-  const std::size_t n = sys.n;
+void TmBinSolver::Solve(const double* linkLoads, const double* priorBin,
+                        const double* ingress, const double* egress,
+                        double* outBin) {
+  const std::size_t n = system_.nodeCount();
   const std::size_t n2 = n * n;
-  const std::size_t rows = sys.rows;
+  const std::size_t rows = system_.rowCount();
+  const std::size_t links = system_.linkCount();
   for (std::size_t i = 0; i < n; ++i) {
     ICTM_REQUIRE(ingress[i] >= 0.0, "negative row target");
     ICTM_REQUIRE(egress[i] >= 0.0, "negative col target");
   }
 
   // Right-hand side y = [loads; ingress; egress] ...
-  double* d = s.d.data();
-  std::copy(linkLoads, linkLoads + sys.links, d);
-  if (rows > sys.links) {
-    std::copy(ingress, ingress + n, d + sys.links);
-    std::copy(egress, egress + n, d + sys.links + n);
+  double* d = d_.data();
+  std::copy(linkLoads, linkLoads + links, d);
+  if (rows > links) {
+    std::copy(ingress, ingress + n, d + links);
+    std::copy(egress, egress + n, d + links + n);
   }
   // ... turned into the residual d = y - A xp.
-  const auto& colPtr = sys.a.colPtr();
-  const auto& rowIdx = sys.a.rowIdx();
-  const auto& values = sys.a.values();
+  const auto& colPtr = system_.matrix().colPtr();
+  const auto& rowIdx = system_.matrix().rowIdx();
+  const auto& values = system_.matrix().values();
   for (std::size_t c = 0; c < n2; ++c) {
     const double xp = priorBin[c];
     if (xp == 0.0) continue;
@@ -150,16 +136,16 @@ void SolveBin(const AugmentedSystem& sys, const double* linkLoads,
 
   // Normal matrix M = A W Aᵀ with W = diag(xp) (prior-weighted
   // deviations, per tomogravity), plus a relative ridge.
-  linalg::WeightedGramInto(sys.a, priorBin, s.m.data());
+  linalg::WeightedGramInto(system_.matrix(), priorBin, m_.data());
   double trace = 0.0;
-  for (std::size_t r = 0; r < rows; ++r) trace += s.m[r * rows + r];
+  for (std::size_t r = 0; r < rows; ++r) trace += m_[r * rows + r];
   const double ridge =
-      std::max(trace, 1.0) * options.relativeRidge +
+      std::max(trace, 1.0) * options_.relativeRidge +
       1e-30;  // keep strictly positive even for an all-zero prior
-  for (std::size_t r = 0; r < rows; ++r) s.m[r * rows + r] += ridge;
+  for (std::size_t r = 0; r < rows; ++r) m_[r * rows + r] += ridge;
 
   // Solve (M + ridge) z = d and push back: x = xp + W Aᵀ z.
-  linalg::CholeskySolveInPlace(s.m.data(), d, rows);
+  linalg::CholeskySolveInPlace(m_.data(), d, rows);
   for (std::size_t c = 0; c < n2; ++c) {
     const double xp = priorBin[c];
     double x = xp;
@@ -173,11 +159,9 @@ void SolveBin(const AugmentedSystem& sys, const double* linkLoads,
     outBin[c] = std::max(x, 0.0);
   }
 
-  IpfInPlace(outBin, n, ingress, egress, options.ipfIterations,
-             options.ipfTolerance);
+  IpfInPlace(outBin, n, ingress, egress, options_.ipfIterations,
+             options_.ipfTolerance);
 }
-
-}  // namespace
 
 linalg::Matrix Ipf(linalg::Matrix tm, const linalg::Vector& rowTargets,
                    const linalg::Vector& colTargets,
@@ -207,11 +191,11 @@ linalg::Matrix EstimateTmBin(const linalg::CsrMatrix& routing,
   ICTM_REQUIRE(ingress.size() == n && egress.size() == n,
                "marginal length mismatch");
 
-  const AugmentedSystem sys(routing, n, options.useMarginalConstraints);
-  BinScratch scratch(sys);
+  const AugmentedTmSystem sys(routing, n, options.useMarginalConstraints);
+  TmBinSolver solver(sys, options);
   linalg::Matrix out(n, n);
-  SolveBin(sys, linkLoads.data(), prior.data().data(), ingress.data(),
-           egress.data(), options, scratch, out.data().data());
+  solver.Solve(linkLoads.data(), prior.data().data(), ingress.data(),
+               egress.data(), out.data().data());
   return out;
 }
 
@@ -235,17 +219,17 @@ traffic::TrafficMatrixSeries EstimateSeries(
                "truth/prior series shape mismatch");
   const std::size_t n = truth.nodeCount();
   const std::size_t bins = truth.binCount();
-  const AugmentedSystem sys(routing, n, options.useMarginalConstraints);
+  const AugmentedTmSystem sys(routing, n, options.useMarginalConstraints);
   traffic::TrafficMatrixSeries out(n, bins, truth.binSeconds());
 
-  // Each worker takes a contiguous run of bins and reuses one scratch
-  // set; bins write disjoint slices of `out`, so any thread count
-  // produces bit-identical estimates.
+  // Each worker takes a contiguous run of bins and reuses one solver
+  // (scratch) instance; bins write disjoint slices of `out`, so any
+  // thread count produces bit-identical estimates.
   ParallelForRanges(
       std::size_t{0}, bins, options.threads,
       [&](std::size_t lo, std::size_t hi) {
-        BinScratch scratch(sys);
-        std::vector<double> loads(sys.links, 0.0);
+        TmBinSolver solver(sys, options);
+        std::vector<double> loads(sys.linkCount(), 0.0);
         std::vector<double> ingress(n, 0.0);
         std::vector<double> egress(n, 0.0);
         for (std::size_t t = lo; t < hi; ++t) {
@@ -260,8 +244,8 @@ traffic::TrafficMatrixSeries EstimateSeries(
               egress[j] += v;
             }
           }
-          SolveBin(sys, loads.data(), priors.binData(t), ingress.data(),
-                   egress.data(), options, scratch, out.binData(t));
+          solver.Solve(loads.data(), priors.binData(t), ingress.data(),
+                       egress.data(), out.binData(t));
         }
       });
   return out;

@@ -8,6 +8,9 @@
 //           ingress/egress marginals.
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "core/priors.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/sparse.hpp"
@@ -29,6 +32,62 @@ struct EstimationOptions {
   /// independent, so results are bit-identical for any value); 0 means
   /// all hardware threads.
   std::size_t threads = 1;
+};
+
+/// The augmented measurement operator A = [R; Q] compressed once into
+/// column form: one column per OD pair holding that pair's few path
+/// links plus (with marginal constraints) its ingress and egress rows.
+/// Built once per routing matrix and shared read-only by every bin
+/// solver — batch (EstimateSeries) and streaming
+/// (stream::StreamingEstimator) consume the same system, which is what
+/// makes their estimates bit-identical.
+class AugmentedTmSystem {
+ public:
+  /// Compresses `routing` (links x n²) plus, when `marginalConstraints`
+  /// is set, the 2n ingress/egress rows.
+  AugmentedTmSystem(const linalg::CsrMatrix& routing, std::size_t nodes,
+                    bool marginalConstraints);
+
+  /// Number of nodes n.
+  std::size_t nodeCount() const noexcept { return n_; }
+  /// Number of routing-matrix rows (directed links).
+  std::size_t linkCount() const noexcept { return links_; }
+  /// Total rows: links (+ 2n with marginal constraints).
+  std::size_t rowCount() const noexcept { return rows_; }
+  /// The compressed operator (rowCount() x n²).
+  const linalg::CscMatrix& matrix() const noexcept { return a_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t links_ = 0;
+  std::size_t rows_ = 0;
+  linalg::CscMatrix a_;
+};
+
+/// One bin of the three-step pipeline (Sec. 6) with reusable scratch:
+/// prior-weighted least-squares refinement of the prior against the
+/// link loads (and marginals), clamped non-negative, then IPF onto the
+/// marginals.  Create one solver per worker thread; Solve may be called
+/// repeatedly and performs the exact same floating-point operations
+/// regardless of which solver instance runs it, so any fan-out over
+/// bins is bit-identical to a serial sweep.
+class TmBinSolver {
+ public:
+  /// Binds the solver to a shared system (which must outlive it).
+  explicit TmBinSolver(const AugmentedTmSystem& system,
+                       const EstimationOptions& options = {});
+
+  /// Solves one bin.  `linkLoads` has linkCount() elements, `priorBin`
+  /// and `outBin` are row-major n x n buffers in FlattenTm order (they
+  /// may not alias), `ingress`/`egress` have n elements.
+  void Solve(const double* linkLoads, const double* priorBin,
+             const double* ingress, const double* egress, double* outBin);
+
+ private:
+  const AugmentedTmSystem& system_;
+  EstimationOptions options_;
+  std::vector<double> d_;  // rows: rhs, then the dual solution
+  std::vector<double> m_;  // rows x rows: normal matrix, then its factor
 };
 
 /// Iterative proportional fitting: rescales rows and columns of `tm`

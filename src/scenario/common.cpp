@@ -7,6 +7,26 @@
 
 namespace ictm::scenario {
 
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0)
+      .count();
+}
+
+bool BitIdentical(const traffic::TrafficMatrixSeries& a,
+                  const traffic::TrafficMatrixSeries& b) {
+  const std::size_t n = a.nodeCount();
+  if (b.nodeCount() != n || b.binCount() != a.binCount()) return false;
+  for (std::size_t t = 0; t < a.binCount(); ++t) {
+    const double* pa = a.binData(t);
+    const double* pb = b.binData(t);
+    for (std::size_t k = 0; k < n * n; ++k) {
+      if (pa[k] != pb[k]) return false;
+    }
+  }
+  return true;
+}
+
 dataset::DatasetConfig GeantConfig(std::uint64_t seed) {
   dataset::DatasetConfig cfg;
   cfg.seed = seed;

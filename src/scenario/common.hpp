@@ -6,6 +6,7 @@
 // statistics every figure reports.
 #pragma once
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,15 @@
 #include "scenario/scenario.hpp"
 
 namespace ictm::scenario {
+
+/// Seconds elapsed since `t0` (for the notes-channel timings).
+double SecondsSince(std::chrono::steady_clock::time_point t0);
+
+/// True when both series have the same shape and every element
+/// compares exactly equal — the check behind each threads=N ≡
+/// threads=1 contract.
+bool BitIdentical(const traffic::TrafficMatrixSeries& a,
+                  const traffic::TrafficMatrixSeries& b);
 
 /// Géant-like dataset configuration shared across scenarios.
 dataset::DatasetConfig GeantConfig(std::uint64_t seed);

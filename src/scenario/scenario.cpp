@@ -36,6 +36,7 @@ void EnsureBuiltins() {
     detail::RegisterEstimationScenarios();
     detail::RegisterAblationScenarios();
     detail::RegisterScaleScenarios();
+    detail::RegisterStreamScenarios();
     detail::RegisterWhatIfScenarios();
   });
 }

@@ -27,26 +27,6 @@ namespace {
 constexpr std::size_t kBaselineThreads = 1;
 constexpr std::size_t kFanoutThreads = 4;
 
-double SecondsSince(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       t0)
-      .count();
-}
-
-bool BitIdentical(const traffic::TrafficMatrixSeries& a,
-                  const traffic::TrafficMatrixSeries& b) {
-  const std::size_t n = a.nodeCount();
-  if (b.nodeCount() != n || b.binCount() != a.binCount()) return false;
-  for (std::size_t t = 0; t < a.binCount(); ++t) {
-    const double* pa = a.binData(t);
-    const double* pb = b.binData(t);
-    for (std::size_t k = 0; k < n * n; ++k) {
-      if (pa[k] != pb[k]) return false;
-    }
-  }
-  return true;
-}
-
 void AppendTimingNote(std::string& notes, const char* what, double sec1,
                       double secN) {
   char buf[160];

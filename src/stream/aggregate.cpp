@@ -1,0 +1,53 @@
+#include "stream/aggregate.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ictm::stream {
+
+ConnectionAggregator::ConnectionAggregator(const linalg::CsrMatrix& routing,
+                                           std::size_t nodes,
+                                           BinCallback onBin)
+    : routing_(routing), n_(nodes), onBin_(std::move(onBin)) {
+  ICTM_REQUIRE(onBin_ != nullptr, "bin callback is null");
+  ICTM_REQUIRE(routing.cols() == nodes * nodes,
+               "routing matrix column mismatch");
+  tm_.assign(n_ * n_, 0.0);
+}
+
+void ConnectionAggregator::add(const conngen::Connection& connection) {
+  ICTM_REQUIRE(connection.initiator < n_ && connection.responder < n_,
+               "connection node index out of range");
+  if (!open_) {
+    open_ = true;
+    currentBin_ = 0;  // bin 0 of the stream is time bin 0
+  }
+  ICTM_REQUIRE(connection.bin >= currentBin_,
+               "connections must arrive in non-decreasing bin order");
+  // Close (possibly empty) bins up to the connection's bin, so stream
+  // sequence numbers stay aligned with time.
+  while (connection.bin > currentBin_) {
+    emitCurrentBin();
+    ++currentBin_;
+  }
+  tm_[connection.initiator * n_ + connection.responder] +=
+      connection.forwardBytes;
+  tm_[connection.responder * n_ + connection.initiator] +=
+      connection.reverseBytes;
+}
+
+void ConnectionAggregator::flush() {
+  if (!open_) return;
+  emitCurrentBin();
+  open_ = false;
+}
+
+void ConnectionAggregator::emitCurrentBin() {
+  BinEvent event = MakeBinEvent(routing_, n_, tm_.data());
+  onBin_(currentBin_, event, tm_.data());
+  ++binsEmitted_;
+  std::fill(tm_.begin(), tm_.end(), 0.0);
+}
+
+}  // namespace ictm::stream

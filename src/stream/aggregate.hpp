@@ -1,0 +1,63 @@
+// Ingest adapter: connection records → per-bin link-load events.
+//
+// The live counterpart of the batch dataset builders, shaped after
+// measure-sim's FlowAggr (flows → per-bin counters): connections
+// arrive in time order, their forward/reverse bytes accumulate into
+// one n×n bin buffer, and each time the bin index advances the closed
+// bin is flattened through the routing matrix into the
+// (linkLoads, ingress, egress) event the StreamingEstimator consumes.
+// Memory is O(n²) regardless of stream length — no
+// TrafficMatrixSeries is ever materialised.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "conngen/generator.hpp"
+#include "linalg/sparse.hpp"
+#include "stream/online.hpp"
+
+namespace ictm::stream {
+
+/// Accumulates connections into per-bin TMs and emits one BinEvent per
+/// closed bin.  Connections must arrive with non-decreasing bin
+/// indices (the generator emits them that way); gaps produce empty
+/// bins so downstream sequence numbers stay aligned with time.
+class ConnectionAggregator {
+ public:
+  /// Called once per closed bin, in bin order.  `tmBin` is the
+  /// accumulated n² ground-truth buffer (FlattenTm order), valid for
+  /// the duration of the call — scenarios use it to score estimates.
+  using BinCallback = std::function<void(
+      std::size_t bin, const BinEvent& event, const double* tmBin)>;
+
+  /// Binds the aggregator to a routing matrix (links x n²).
+  ConnectionAggregator(const linalg::CsrMatrix& routing, std::size_t nodes,
+                       BinCallback onBin);
+
+  /// Adds one connection: forward bytes land in X[initiator][responder],
+  /// reverse bytes in X[responder][initiator] (paper Sec. 3).  Throws
+  /// when the connection's bin precedes the current one.
+  void add(const conngen::Connection& connection);
+
+  /// Closes the final bin (emitting it even when empty, provided at
+  /// least one connection was ever added).
+  void flush();
+
+  /// Bins emitted so far.
+  std::size_t binsEmitted() const noexcept { return binsEmitted_; }
+
+ private:
+  void emitCurrentBin();
+
+  const linalg::CsrMatrix& routing_;
+  std::size_t n_ = 0;
+  BinCallback onBin_;
+  std::vector<double> tm_;  // current bin accumulator, n² doubles
+  std::size_t currentBin_ = 0;
+  std::size_t binsEmitted_ = 0;
+  bool open_ = false;  // true once the first connection arrived
+};
+
+}  // namespace ictm::stream

@@ -1,0 +1,364 @@
+#include "stream/format.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "traffic/io.hpp"
+
+namespace ictm::stream {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'I', 'C', 'T', 'M',
+                                        'B', '1', '\r', '\n'};
+constexpr std::array<char, 8> kEndMagic = {'I', 'C', 'T', 'M',
+                                           'B', 'E', 'O', 'F'};
+constexpr std::uint32_t kByteOrderSentinel = 0x01020304u;
+constexpr std::uint32_t kVersion = 1;
+// Length-prefix value that marks the index frame; no real chunk can be
+// this large.
+constexpr std::uint64_t kIndexMarker = ~std::uint64_t{0};
+
+template <typename T>
+void WriteRaw(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+void ReadRaw(std::istream& is, T& value, const std::string& what) {
+  is.read(reinterpret_cast<char*>(&value), sizeof value);
+  ICTM_REQUIRE(is.good(), "ictmb: truncated while reading " + what);
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t len,
+                    std::uint32_t seed) {
+  // Slice-by-8 tables generated once from the reflected polynomial —
+  // a byte-at-a-time table runs at ~300 MB/s, which would make CRC
+  // validation (not disk) the bottleneck of chunk reads.
+  static const auto tables = [] {
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (std::size_t s = 1; s < 8; ++s) {
+        c = t[0][c & 0xFFu] ^ (c >> 8);
+        t[s][i] = c;
+      }
+    }
+    return t;
+  }();
+
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  // 8 bytes per step; the unaligned loads are little-endian, which the
+  // header sentinel already requires of the host.
+  while (len >= 8) {
+    std::uint32_t lo, hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = tables[7][lo & 0xFFu] ^ tables[6][(lo >> 8) & 0xFFu] ^
+          tables[5][(lo >> 16) & 0xFFu] ^ tables[4][lo >> 24] ^
+          tables[3][hi & 0xFFu] ^ tables[2][(hi >> 8) & 0xFFu] ^
+          tables[1][(hi >> 16) & 0xFFu] ^ tables[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = tables[0][(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// ---- TraceWriter -----------------------------------------------------------
+
+TraceWriter::TraceWriter(const std::string& path, std::size_t nodes,
+                         double binSeconds, std::size_t binsPerChunk)
+    : out_(path, std::ios::binary),
+      path_(path),
+      nodes_(nodes),
+      binsPerChunk_(binsPerChunk) {
+  ICTM_REQUIRE(out_.is_open(), "cannot open file for writing: " + path);
+  ICTM_REQUIRE(nodes > 0, "ictmb: node count must be positive");
+  ICTM_REQUIRE(binSeconds > 0.0, "ictmb: binSeconds must be positive");
+  ICTM_REQUIRE(binsPerChunk > 0, "ictmb: binsPerChunk must be positive");
+  buffer_.reserve(binsPerChunk * nodes * nodes);
+
+  out_.write(kMagic.data(), kMagic.size());
+  WriteRaw(out_, kByteOrderSentinel);
+  WriteRaw(out_, kVersion);
+  WriteRaw(out_, static_cast<std::uint64_t>(nodes));
+  WriteRaw(out_, binSeconds);
+  WriteRaw(out_, static_cast<std::uint64_t>(binsPerChunk));
+  ICTM_REQUIRE(out_.good(), "ictmb: header write failed: " + path);
+}
+
+TraceWriter::~TraceWriter() {
+  if (closed_) return;
+  try {
+    close();
+  } catch (...) {
+    // Destructor fallback only; call close() to observe failures.
+  }
+}
+
+void TraceWriter::append(const double* bin) {
+  ICTM_REQUIRE(!closed_, "ictmb: append after close: " + path_);
+  buffer_.insert(buffer_.end(), bin, bin + nodes_ * nodes_);
+  ++binsWritten_;
+  if (buffer_.size() == binsPerChunk_ * nodes_ * nodes_) flushChunk();
+}
+
+void TraceWriter::flushChunk() {
+  if (buffer_.empty()) return;
+  const std::uint64_t payloadBytes = buffer_.size() * sizeof(double);
+  const std::uint64_t offset = static_cast<std::uint64_t>(out_.tellp());
+  WriteRaw(out_, payloadBytes);
+  out_.write(reinterpret_cast<const char*>(buffer_.data()),
+             static_cast<std::streamsize>(payloadBytes));
+  WriteRaw(out_, Crc32(buffer_.data(), payloadBytes));
+  ICTM_REQUIRE(out_.good(), "ictmb: chunk write failed: " + path_);
+  index_.push_back({offset, buffer_.size() / (nodes_ * nodes_)});
+  buffer_.clear();
+}
+
+void TraceWriter::close() {
+  ICTM_REQUIRE(!closed_, "ictmb: close called twice: " + path_);
+  closed_ = true;
+  flushChunk();
+
+  // Index frame: marker, chunk count, per-chunk records, total bins,
+  // CRC over everything after the marker.
+  const std::uint64_t indexOffset =
+      static_cast<std::uint64_t>(out_.tellp());
+  WriteRaw(out_, kIndexMarker);
+  std::vector<std::uint64_t> words;
+  words.reserve(2 + 2 * index_.size());
+  words.push_back(index_.size());
+  for (const ChunkRecord& c : index_) {
+    words.push_back(c.offset);
+    words.push_back(c.binCount);
+  }
+  words.push_back(binsWritten_);
+  out_.write(reinterpret_cast<const char*>(words.data()),
+             static_cast<std::streamsize>(words.size() *
+                                          sizeof(std::uint64_t)));
+  WriteRaw(out_, Crc32(words.data(), words.size() * sizeof(std::uint64_t)));
+
+  // Footer.
+  WriteRaw(out_, indexOffset);
+  out_.write(kEndMagic.data(), kEndMagic.size());
+  out_.flush();
+  ICTM_REQUIRE(out_.good(), "ictmb: index/footer write failed: " + path_);
+  out_.close();
+}
+
+// ---- TraceReader -----------------------------------------------------------
+
+TraceReader::TraceReader(const std::string& path)
+    : in_(path, std::ios::binary), path_(path) {
+  ICTM_REQUIRE(in_.is_open(), "cannot open file for reading: " + path);
+
+  std::array<char, 8> magic{};
+  in_.read(magic.data(), magic.size());
+  ICTM_REQUIRE(in_.good() && magic == kMagic,
+               "ictmb: bad magic (not an ictmb trace): " + path);
+  std::uint32_t sentinel = 0, version = 0;
+  ReadRaw(in_, sentinel, "header");
+  ICTM_REQUIRE(sentinel == kByteOrderSentinel,
+               "ictmb: byte-order mismatch (file written on a host with "
+               "different endianness): " + path);
+  ReadRaw(in_, version, "header");
+  ICTM_REQUIRE(version == kVersion,
+               "ictmb: unsupported version " + std::to_string(version) +
+                   ": " + path);
+  std::uint64_t nodes = 0, binsPerChunk = 0;
+  double binSeconds = 0.0;
+  ReadRaw(in_, nodes, "header");
+  ReadRaw(in_, binSeconds, "header");
+  ReadRaw(in_, binsPerChunk, "header");
+  ICTM_REQUIRE(nodes > 0 && binsPerChunk > 0 && binSeconds > 0.0,
+               "ictmb: malformed header fields: " + path);
+
+  // Footer → index offset → index frame.
+  in_.seekg(0, std::ios::end);
+  const auto fileSize = static_cast<std::uint64_t>(in_.tellg());
+  ICTM_REQUIRE(fileSize >= 16,
+               "ictmb: truncated (no footer): " + path);
+  in_.seekg(static_cast<std::streamoff>(fileSize - 16));
+  std::uint64_t indexOffset = 0;
+  ReadRaw(in_, indexOffset, "footer");
+  std::array<char, 8> endMagic{};
+  in_.read(endMagic.data(), endMagic.size());
+  ICTM_REQUIRE(in_.good() && endMagic == kEndMagic,
+               "ictmb: truncated or missing footer: " + path);
+  ICTM_REQUIRE(indexOffset < fileSize,
+               "ictmb: corrupt footer (index offset out of range): " +
+                   path);
+
+  in_.seekg(static_cast<std::streamoff>(indexOffset));
+  std::uint64_t marker = 0;
+  ReadRaw(in_, marker, "index marker");
+  ICTM_REQUIRE(marker == kIndexMarker,
+               "ictmb: corrupt footer (no index at recorded offset): " +
+                   path);
+  std::uint64_t chunkCount = 0;
+  ReadRaw(in_, chunkCount, "index");
+  ICTM_REQUIRE(chunkCount <= fileSize / 16,
+               "ictmb: corrupt index (chunk count too large): " + path);
+  std::vector<std::uint64_t> words(2 * chunkCount + 1);
+  in_.read(reinterpret_cast<char*>(words.data()),
+           static_cast<std::streamsize>(words.size() *
+                                        sizeof(std::uint64_t)));
+  ICTM_REQUIRE(in_.good(), "ictmb: truncated index: " + path);
+  std::uint32_t storedCrc = 0;
+  ReadRaw(in_, storedCrc, "index CRC");
+  std::uint32_t crc = Crc32(&chunkCount, sizeof chunkCount);
+  crc = Crc32(words.data(), words.size() * sizeof(std::uint64_t), crc);
+  ICTM_REQUIRE(crc == storedCrc, "ictmb: index CRC mismatch: " + path);
+
+  index_.resize(chunkCount);
+  std::uint64_t firstBin = 0;
+  for (std::uint64_t c = 0; c < chunkCount; ++c) {
+    index_[c] = {words[2 * c], words[2 * c + 1], firstBin};
+    ICTM_REQUIRE(index_[c].binCount > 0 && index_[c].offset < fileSize,
+                 "ictmb: corrupt index entry: " + path);
+    firstBin += index_[c].binCount;
+  }
+  const std::uint64_t totalBins = words[2 * chunkCount];
+  ICTM_REQUIRE(firstBin == totalBins,
+               "ictmb: index bin counts do not sum to the total: " + path);
+
+  info_ = {static_cast<std::size_t>(nodes),
+           static_cast<std::size_t>(totalBins), binSeconds,
+           static_cast<std::size_t>(binsPerChunk),
+           static_cast<std::size_t>(chunkCount)};
+}
+
+void TraceReader::loadChunk(std::size_t chunk) {
+  const ChunkRecord& rec = index_[chunk];
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(rec.offset));
+  std::uint64_t payloadBytes = 0;
+  ReadRaw(in_, payloadBytes, "chunk length");
+  const std::uint64_t n2 = info_.nodes * info_.nodes;
+  ICTM_REQUIRE(payloadBytes == rec.binCount * n2 * sizeof(double),
+               "ictmb: chunk length disagrees with the index: " + path_);
+  chunk_.resize(static_cast<std::size_t>(payloadBytes / sizeof(double)));
+  in_.read(reinterpret_cast<char*>(chunk_.data()),
+           static_cast<std::streamsize>(payloadBytes));
+  ICTM_REQUIRE(in_.good(), "ictmb: truncated chunk payload: " + path_);
+  std::uint32_t storedCrc = 0;
+  ReadRaw(in_, storedCrc, "chunk CRC");
+  ICTM_REQUIRE(Crc32(chunk_.data(), payloadBytes) == storedCrc,
+               "ictmb: chunk CRC mismatch (corrupt data) in chunk " +
+                   std::to_string(chunk) + ": " + path_);
+  loadedChunk_ = chunk;
+}
+
+bool TraceReader::next(double* outBin) {
+  if (position_ >= info_.bins) return false;
+  // Chunks are K bins each except possibly the last, so the owning
+  // chunk is a division away; verify against the index anyway.
+  std::size_t chunk = position_ / info_.binsPerChunk;
+  if (chunk >= index_.size() || position_ < index_[chunk].firstBin ||
+      position_ >= index_[chunk].firstBin + index_[chunk].binCount) {
+    chunk = 0;
+    while (position_ >=
+           index_[chunk].firstBin + index_[chunk].binCount) {
+      ++chunk;
+    }
+  }
+  if (chunk != loadedChunk_) loadChunk(chunk);
+  const std::size_t n2 = info_.nodes * info_.nodes;
+  const std::size_t offsetInChunk = position_ - index_[chunk].firstBin;
+  std::memcpy(outBin, chunk_.data() + offsetInChunk * n2,
+              n2 * sizeof(double));
+  ++position_;
+  return true;
+}
+
+void TraceReader::seek(std::size_t bin) {
+  ICTM_REQUIRE(bin <= info_.bins,
+               "ictmb: seek past the end of the trace: " + path_);
+  position_ = bin;
+}
+
+traffic::TrafficMatrixSeries TraceReader::readAll() {
+  const std::size_t remaining = info_.bins - position_;
+  ICTM_REQUIRE(remaining > 0, "ictmb: no bins left to read: " + path_);
+  traffic::TrafficMatrixSeries series(info_.nodes, remaining,
+                                      info_.binSeconds);
+  for (std::size_t t = 0; t < remaining; ++t) {
+    ICTM_REQUIRE(next(series.binData(t)),
+                 "ictmb: unexpected end of trace: " + path_);
+  }
+  return series;
+}
+
+// ---- converters ------------------------------------------------------------
+
+void WriteTraceFile(const std::string& path,
+                    const traffic::TrafficMatrixSeries& series,
+                    std::size_t binsPerChunk) {
+  TraceWriter writer(path, series.nodeCount(), series.binSeconds(),
+                     binsPerChunk);
+  for (std::size_t t = 0; t < series.binCount(); ++t) {
+    writer.append(series.binData(t));
+  }
+  writer.close();
+}
+
+traffic::TrafficMatrixSeries ReadTraceFile(const std::string& path) {
+  TraceReader reader(path);
+  return reader.readAll();
+}
+
+void ConvertCsvToTrace(const std::string& csvPath,
+                       const std::string& tracePath,
+                       std::size_t binsPerChunk) {
+  std::ifstream in(csvPath);
+  ICTM_REQUIRE(in.is_open(), "cannot open file for reading: " + csvPath);
+  const traffic::CsvHeader h = traffic::ReadCsvHeader(in);
+  TraceWriter writer(tracePath, h.nodes, h.binSeconds, binsPerChunk);
+  std::vector<double> bin(h.nodes * h.nodes);
+  for (std::size_t t = 0; t < h.bins; ++t) {
+    traffic::ReadCsvBin(in, h, t, bin.data());
+    writer.append(bin.data());
+  }
+  writer.close();
+}
+
+void ConvertTraceToCsv(const std::string& tracePath,
+                       const std::string& csvPath) {
+  TraceReader reader(tracePath);
+  std::ofstream out(csvPath);
+  ICTM_REQUIRE(out.is_open(), "cannot open file for writing: " + csvPath);
+  const TraceInfo& info = reader.info();
+  traffic::WriteCsvHeader(out, {info.nodes, info.bins, info.binSeconds});
+  std::vector<double> bin(info.nodes * info.nodes);
+  while (reader.next(bin.data())) {
+    traffic::WriteCsvBin(out, info.nodes, bin.data());
+  }
+  ICTM_REQUIRE(out.good(), "stream failure while writing TM CSV: " +
+                               csvPath);
+}
+
+bool IsTraceFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return false;
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  return in.good() && magic == kMagic;
+}
+
+}  // namespace ictm::stream

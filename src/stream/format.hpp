@@ -1,0 +1,159 @@
+// `ictmb` — the chunked binary trace container for TM series.
+//
+// The batch pipelines parse O(n²·T) CSV text before the first estimate
+// can run; this format streams bins at memcpy speed with bounded
+// memory and supports random access.  Layout (native little-endian
+// byte order, validated by a sentinel):
+//
+//   header   magic "ICTMB1\r\n" · byte-order sentinel · version ·
+//            nodes · binSeconds · binsPerChunk
+//   chunks   repeated frames: u64 payload length prefix ·
+//            payload (binCount · n² doubles) · u32 CRC-32 of payload
+//   index    frame with the length prefix set to the index marker:
+//            chunk count · per-chunk {file offset, bin count} ·
+//            total bins · u32 CRC-32 of the index
+//   footer   u64 index offset · end magic "ICTMBEOF"
+//
+// The trailing index makes the file self-describing (total bin count
+// without scanning) and gives TraceReader::seek O(1) random access;
+// the per-chunk CRC turns truncation and bit rot into loud errors
+// instead of corrupt estimates.  The \r\n in the magic catches
+// text-mode transfer damage, as in PNG.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "traffic/tm_series.hpp"
+
+/// Streaming subsystem: chunked binary trace I/O, the online
+/// estimator and the connection-to-bin-event ingest adapter.
+namespace ictm::stream {
+
+/// Metadata of an open trace (header + trailing index).
+struct TraceInfo {
+  std::size_t nodes = 0;         ///< matrix dimension n
+  std::size_t bins = 0;          ///< total bins (from the index)
+  double binSeconds = 0.0;       ///< bin duration metadata
+  std::size_t binsPerChunk = 0;  ///< frame granularity K
+  std::size_t chunks = 0;        ///< number of chunk frames
+};
+
+/// CRC-32 (polynomial 0xEDB88320, the zlib/PNG one) of a byte range;
+/// chain calls by passing the previous result as `seed`.
+std::uint32_t Crc32(const void* data, std::size_t len,
+                    std::uint32_t seed = 0);
+
+/// Appends bins to an `ictmb` file without materialising the series:
+/// bins are buffered into frames of `binsPerChunk` and flushed with a
+/// length prefix and CRC.  close() writes the chunk index and footer;
+/// the destructor calls it as a fallback but swallows errors, so call
+/// close() explicitly to observe IO failures.
+class TraceWriter {
+ public:
+  /// Opens `path` for writing and emits the header.
+  TraceWriter(const std::string& path, std::size_t nodes,
+              double binSeconds, std::size_t binsPerChunk = 64);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Appends one bin (n² doubles in FlattenTm order).
+  void append(const double* bin);
+
+  /// Flushes the current chunk and writes the index + footer; the
+  /// writer cannot append afterwards.  Throws on IO failure.
+  void close();
+
+  /// Bins appended so far.
+  std::size_t binsWritten() const noexcept { return binsWritten_; }
+
+ private:
+  void flushChunk();
+
+  std::ofstream out_;
+  std::string path_;
+  std::size_t nodes_ = 0;
+  std::size_t binsPerChunk_ = 0;
+  std::size_t binsWritten_ = 0;
+  std::vector<double> buffer_;  // partial chunk, <= binsPerChunk bins
+  struct ChunkRecord {
+    std::uint64_t offset = 0;
+    std::uint64_t binCount = 0;
+  };
+  std::vector<ChunkRecord> index_;
+  bool closed_ = false;
+};
+
+/// Streams bins out of an `ictmb` file.  Construction validates the
+/// header, footer and index; each chunk's CRC is checked when the
+/// chunk is first read, so truncated or corrupted files fail loudly.
+class TraceReader {
+ public:
+  /// Opens `path` and loads the trailing index.
+  explicit TraceReader(const std::string& path);
+
+  /// The trace metadata.
+  const TraceInfo& info() const noexcept { return info_; }
+
+  /// Reads the next bin into `outBin` (n² doubles); returns false when
+  /// all bins have been read.
+  bool next(double* outBin);
+
+  /// Repositions so the following next() returns bin `bin` — O(1) via
+  /// the chunk index.
+  void seek(std::size_t bin);
+
+  /// Bin index the following next() call will return.
+  std::size_t position() const noexcept { return position_; }
+
+  /// Reads every remaining bin from the current position into a series
+  /// (convenience for batch interop; the series holds bins
+  /// [position, bins)).
+  traffic::TrafficMatrixSeries readAll();
+
+ private:
+  void loadChunk(std::size_t chunk);
+
+  std::ifstream in_;
+  std::string path_;
+  TraceInfo info_;
+  struct ChunkRecord {
+    std::uint64_t offset = 0;
+    std::uint64_t binCount = 0;
+    std::uint64_t firstBin = 0;
+  };
+  std::vector<ChunkRecord> index_;
+  std::vector<double> chunk_;            // decoded bins of loadedChunk_
+  std::size_t loadedChunk_ = SIZE_MAX;   // index into index_, or none
+  std::size_t position_ = 0;             // next bin to serve
+};
+
+/// Writes a whole series as one `ictmb` file.
+void WriteTraceFile(const std::string& path,
+                    const traffic::TrafficMatrixSeries& series,
+                    std::size_t binsPerChunk = 64);
+
+/// Reads a whole `ictmb` file into a series.
+traffic::TrafficMatrixSeries ReadTraceFile(const std::string& path);
+
+/// Converts a TM CSV into an `ictmb` trace one bin at a time (bounded
+/// memory: one bin plus one chunk buffer).
+void ConvertCsvToTrace(const std::string& csvPath,
+                       const std::string& tracePath,
+                       std::size_t binsPerChunk = 64);
+
+/// Converts an `ictmb` trace back into the TM CSV format, streaming
+/// one bin at a time.
+void ConvertTraceToCsv(const std::string& tracePath,
+                       const std::string& csvPath);
+
+/// True when the file starts with the `ictmb` magic (format sniffing
+/// for CLI inputs that may be CSV or binary).
+bool IsTraceFile(const std::string& path);
+
+}  // namespace ictm::stream

@@ -1,0 +1,331 @@
+#include "stream/online.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "core/ic_model.hpp"
+#include "core/priors.hpp"
+#include "linalg/svd.hpp"
+#include "traffic/tm_series.hpp"
+
+namespace ictm::stream {
+
+namespace {
+
+// Immutable prior-model snapshot shared by every event of one window
+// generation.  Workers only read it; push() swaps in a new snapshot at
+// window boundaries, so an event's prior is fixed at push time — the
+// root of the thread-count/queue-capacity determinism contract.
+struct PriorModel {
+  double f = 0.25;
+  linalg::Matrix phi;       // n² x n  (Eq. 7 operator for fixed f, P)
+  linalg::Matrix qphiPinv;  // n x 2n  (Eq. 8 pseudo-inverse)
+};
+
+std::shared_ptr<const PriorModel> BuildPriorModel(
+    double f, const linalg::Vector& preference, std::size_t n) {
+  auto model = std::make_shared<PriorModel>();
+  model->f = f;
+  model->phi = core::BuildActivityOperator(f, preference);
+  model->qphiPinv =
+      linalg::PseudoInverse(traffic::BuildMarginalOperator(n) * model->phi);
+  return model;
+}
+
+// Stable-fP prior for one bin — the exact floating-point sequence of
+// core::StableFPPrior, so a streaming run with window = 0 reproduces
+// the batch prior series bit for bit.
+void ComputePriorBin(const PriorModel& model, const double* ingress,
+                     const double* egress, std::size_t n, double* outBin) {
+  linalg::Vector counts(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    counts[i] = ingress[i];
+    counts[n + i] = egress[i];
+  }
+  const linalg::Vector aTilde = model.qphiPinv * counts;
+  const linalg::Vector x = model.phi * aTilde;
+  for (std::size_t k = 0; k < n * n; ++k) {
+    outBin[k] = std::max(x[k], 0.0);
+  }
+}
+
+struct QueueItem {
+  std::size_t seq = 0;
+  BinEvent event;
+  std::shared_ptr<const PriorModel> model;
+};
+
+struct PendingResult {
+  std::vector<double> estimate;
+  std::vector<double> prior;
+};
+
+}  // namespace
+
+struct StreamingEstimator::Impl {
+  core::AugmentedTmSystem system;
+  StreamingOptions options;
+  EstimateCallback callback;
+  std::size_t n = 0;
+
+  // Producer-side state (touched only inside push, which serialises
+  // under queueMutex): window accumulators and the current snapshot.
+  std::shared_ptr<const PriorModel> currentModel;
+  linalg::Vector windowIngress, windowEgress;
+  std::size_t windowFill = 0;
+
+  // Bounded queue.
+  std::mutex queueMutex;
+  std::condition_variable notFull, notEmpty;
+  std::deque<QueueItem> queue;
+  bool finished = false;
+
+  // Reorder buffer: results enter keyed by sequence number and leave
+  // strictly in order through the callback.
+  std::mutex emitMutex;
+  std::map<std::size_t, PendingResult> pending;
+  std::size_t nextEmit = 0;
+
+  // First worker failure; failed unblocks every waiter.
+  std::mutex errorMutex;
+  std::exception_ptr firstError;
+  std::atomic<bool> failed{false};
+
+  std::atomic<std::size_t> pushed{0};
+  std::atomic<std::size_t> emitted{0};
+  std::vector<std::thread> workers;
+  bool joined = false;
+
+  Impl(const linalg::CsrMatrix& routing, std::size_t nodes,
+       StreamingOptions opts, EstimateCallback cb)
+      : system(routing, nodes, opts.estimation.useMarginalConstraints),
+        options(std::move(opts)),
+        callback(std::move(cb)),
+        n(nodes) {}
+
+  void fail(std::exception_ptr e) {
+    {
+      std::lock_guard<std::mutex> lock(errorMutex);
+      if (!firstError) firstError = e;
+    }
+    failed.store(true);
+    notFull.notify_all();
+    notEmpty.notify_all();
+  }
+
+  void workerLoop() {
+    try {
+      core::TmBinSolver solver(system, options.estimation);
+      std::vector<double> prior(n * n), estimate(n * n);
+      for (;;) {
+        QueueItem item;
+        {
+          std::unique_lock<std::mutex> lock(queueMutex);
+          notEmpty.wait(lock, [&] {
+            return !queue.empty() || finished || failed.load();
+          });
+          if (failed.load()) return;
+          if (queue.empty()) return;  // finished and drained
+          item = std::move(queue.front());
+          queue.pop_front();
+        }
+        notFull.notify_one();
+
+        ComputePriorBin(*item.model, item.event.ingress.data(),
+                        item.event.egress.data(), n, prior.data());
+        solver.Solve(item.event.linkLoads.data(), prior.data(),
+                     item.event.ingress.data(), item.event.egress.data(),
+                     estimate.data());
+
+        std::lock_guard<std::mutex> lock(emitMutex);
+        pending.emplace(item.seq, PendingResult{estimate, prior});
+        while (!pending.empty() &&
+               pending.begin()->first == nextEmit) {
+          const PendingResult& r = pending.begin()->second;
+          callback(nextEmit, r.estimate.data(), r.prior.data());
+          pending.erase(pending.begin());
+          ++nextEmit;
+          emitted.fetch_add(1);
+        }
+      }
+    } catch (...) {
+      fail(std::current_exception());
+    }
+  }
+};
+
+StreamingEstimator::StreamingEstimator(const linalg::CsrMatrix& routing,
+                                       std::size_t nodes,
+                                       StreamingOptions options,
+                                       EstimateCallback onEstimate)
+    : impl_(std::make_unique<Impl>(routing, nodes, std::move(options),
+                                   std::move(onEstimate))) {
+  StreamingOptions& opts = impl_->options;
+  ICTM_REQUIRE(impl_->callback != nullptr, "estimate callback is null");
+  ICTM_REQUIRE(opts.queueCapacity > 0, "queue capacity must be positive");
+  ICTM_REQUIRE(opts.f > 0.0 && opts.f < 1.0, "f must be in (0, 1)");
+  if (opts.window > 0) {
+    // The window re-fit uses the stable-f closed forms, which lose
+    // rank at f = 1/2.
+    ICTM_REQUIRE(std::fabs(2.0 * opts.f - 1.0) > 1e-6,
+                 "window re-fit requires f away from 1/2");
+  }
+  if (opts.preference.empty()) {
+    opts.preference.assign(nodes, 1.0 / static_cast<double>(nodes));
+  }
+  ICTM_REQUIRE(opts.preference.size() == nodes,
+               "preference length mismatch");
+
+  impl_->currentModel = BuildPriorModel(opts.f, opts.preference, nodes);
+  impl_->windowIngress.assign(nodes, 0.0);
+  impl_->windowEgress.assign(nodes, 0.0);
+
+  const std::size_t workers = ResolveThreadCount(opts.threads);
+  impl_->workers.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    impl_->workers.emplace_back([this] { impl_->workerLoop(); });
+  }
+}
+
+StreamingEstimator::~StreamingEstimator() {
+  if (impl_->joined) return;
+  try {
+    finish();
+  } catch (...) {
+    // Destructor fallback only; call finish() to observe failures.
+  }
+}
+
+void StreamingEstimator::push(BinEvent event) {
+  Impl& im = *impl_;
+  ICTM_REQUIRE(event.linkLoads.size() == im.system.linkCount(),
+               "link load length mismatch");
+  ICTM_REQUIRE(event.ingress.size() == im.n && event.egress.size() == im.n,
+               "marginal length mismatch");
+
+  QueueItem item;
+  item.event = std::move(event);
+
+  {
+    std::unique_lock<std::mutex> lock(im.queueMutex);
+    ICTM_REQUIRE(!im.finished, "push after finish");
+    // Sequence-stamp and snapshot the prior model under the queue lock
+    // so concurrent producers still observe one global arrival order.
+    item.seq = im.pushed.fetch_add(1);
+    item.model = im.currentModel;
+
+    // Window accounting: the bin completing a window still uses the
+    // old model; bins after it use the re-fitted one.
+    if (im.options.window > 0) {
+      for (std::size_t i = 0; i < im.n; ++i) {
+        im.windowIngress[i] += item.event.ingress[i];
+        im.windowEgress[i] += item.event.egress[i];
+      }
+      if (++im.windowFill == im.options.window) {
+        // Stable-f closed forms on the window-aggregated marginals
+        // (preference is scale-invariant, so sums work as means);
+        // yesterday's f is kept, per the paper's stability result.
+        const core::StableFEstimates est =
+            core::EstimateStableFParameters(
+                im.options.f, im.windowIngress, im.windowEgress);
+        im.currentModel =
+            BuildPriorModel(im.options.f, est.preference, im.n);
+        im.windowIngress.assign(im.n, 0.0);
+        im.windowEgress.assign(im.n, 0.0);
+        im.windowFill = 0;
+      }
+    }
+
+    im.notFull.wait(lock, [&] {
+      return im.queue.size() < im.options.queueCapacity ||
+             im.failed.load();
+    });
+    if (!im.failed.load()) {
+      im.queue.push_back(std::move(item));
+    }
+  }
+  im.notEmpty.notify_one();
+  if (im.failed.load()) finish();  // rethrows the worker error
+}
+
+void StreamingEstimator::finish() {
+  Impl& im = *impl_;
+  if (!im.joined) {
+    {
+      std::lock_guard<std::mutex> lock(im.queueMutex);
+      im.finished = true;
+    }
+    im.notEmpty.notify_all();
+    for (std::thread& t : im.workers) t.join();
+    im.joined = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(im.errorMutex);
+    if (im.firstError) std::rethrow_exception(im.firstError);
+  }
+  ICTM_REQUIRE(im.emitted.load() == im.pushed.load(),
+               "streaming estimator lost bins");
+}
+
+std::size_t StreamingEstimator::pushedCount() const noexcept {
+  return impl_->pushed.load();
+}
+
+std::size_t StreamingEstimator::emittedCount() const noexcept {
+  return impl_->emitted.load();
+}
+
+BinEvent MakeBinEvent(const linalg::CsrMatrix& routing, std::size_t nodes,
+                      const double* truthBin) {
+  BinEvent event;
+  event.linkLoads.resize(routing.rows());
+  routing.MultiplyInto(truthBin, event.linkLoads.data());
+  event.ingress.assign(nodes, 0.0);
+  event.egress.assign(nodes, 0.0);
+  // Same accumulation order as core::EstimateSeries, for bit-equal
+  // downstream comparisons.
+  for (std::size_t i = 0; i < nodes; ++i) {
+    for (std::size_t j = 0; j < nodes; ++j) {
+      const double v = truthBin[i * nodes + j];
+      event.ingress[i] += v;
+      event.egress[j] += v;
+    }
+  }
+  return event;
+}
+
+StreamingRunResult EstimateSeriesStreaming(
+    const linalg::CsrMatrix& routing,
+    const traffic::TrafficMatrixSeries& truth,
+    const StreamingOptions& options) {
+  const std::size_t n = truth.nodeCount();
+  const std::size_t bins = truth.binCount();
+  ICTM_REQUIRE(bins > 0, "empty truth series");
+  StreamingRunResult result{
+      traffic::TrafficMatrixSeries(n, bins, truth.binSeconds()),
+      traffic::TrafficMatrixSeries(n, bins, truth.binSeconds())};
+
+  StreamingEstimator estimator(
+      routing, n, options,
+      [&](std::size_t seq, const double* estimate, const double* prior) {
+        std::copy(estimate, estimate + n * n, result.estimates.binData(seq));
+        std::copy(prior, prior + n * n, result.priors.binData(seq));
+      });
+  for (std::size_t t = 0; t < bins; ++t) {
+    estimator.push(MakeBinEvent(routing, n, truth.binData(t)));
+  }
+  estimator.finish();
+  return result;
+}
+
+}  // namespace ictm::stream

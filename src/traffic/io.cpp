@@ -1,24 +1,99 @@
 #include "traffic/io.hpp"
 
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 
 namespace ictm::traffic {
 
-void WriteCsv(std::ostream& os, const TrafficMatrixSeries& series) {
-  const std::size_t n = series.nodeCount();
-  os << "# ictm-tm nodes=" << n << " bins=" << series.binCount()
-     << " binSeconds=" << series.binSeconds() << "\n";
-  os << std::setprecision(17);
-  for (std::size_t t = 0; t < series.binCount(); ++t) {
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = 0; j < n; ++j) {
-        if (i != 0 || j != 0) os << ',';
-        os << series(t, i, j);
+CsvHeader ReadCsvHeader(std::istream& is) {
+  std::string header;
+  ICTM_REQUIRE(static_cast<bool>(std::getline(is, header)),
+               "missing TM CSV header");
+  CsvHeader h;
+  {
+    std::istringstream hs(header);
+    std::string token;
+    while (hs >> token) {
+      if (token.rfind("nodes=", 0) == 0) {
+        h.nodes = static_cast<std::size_t>(std::stoul(token.substr(6)));
+      } else if (token.rfind("bins=", 0) == 0) {
+        h.bins = static_cast<std::size_t>(std::stoul(token.substr(5)));
+      } else if (token.rfind("binSeconds=", 0) == 0) {
+        h.binSeconds = std::stod(token.substr(11));
       }
     }
-    os << '\n';
+  }
+  ICTM_REQUIRE(h.nodes > 0 && h.bins > 0 && h.binSeconds > 0.0,
+               "malformed TM CSV header: " + header);
+  return h;
+}
+
+void ReadCsvBin(std::istream& is, const CsvHeader& header,
+                std::size_t binIndex, double* outBin) {
+  const std::size_t n2 = header.nodes * header.nodes;
+  // One heap string reused by callers looping over bins; reserve so a
+  // typical full-precision row never reallocates while growing.
+  static thread_local std::string line;
+  line.reserve(n2 * 24);
+  ICTM_REQUIRE(static_cast<bool>(std::getline(is, line)),
+               "TM CSV truncated at bin " + std::to_string(binIndex));
+
+  const char* p = line.c_str();
+  for (std::size_t k = 0; k < n2; ++k) {
+    char* end = nullptr;
+    const double v = std::strtod(p, &end);
+    ICTM_REQUIRE(end != p,
+                 "TM CSV bin " + std::to_string(binIndex) +
+                     ": non-numeric cell " + std::to_string(k));
+    ICTM_REQUIRE(std::isfinite(v),
+                 "TM CSV bin " + std::to_string(binIndex) +
+                     ": non-finite value in cell " + std::to_string(k));
+    ICTM_REQUIRE(v >= 0.0, "TM CSV bin " + std::to_string(binIndex) +
+                               ": negative value in cell " +
+                               std::to_string(k));
+    outBin[k] = v;
+    p = end;
+    if (k + 1 < n2) {
+      ICTM_REQUIRE(*p == ',',
+                   "TM CSV bin " + std::to_string(binIndex) +
+                       ": row holds fewer than " + std::to_string(n2) +
+                       " cells");
+      ++p;
+    }
+  }
+  while (*p == ' ' || *p == '\r') ++p;
+  ICTM_REQUIRE(*p == '\0', "TM CSV bin " + std::to_string(binIndex) +
+                               ": row holds more than " +
+                               std::to_string(n2) + " cells");
+}
+
+void WriteCsvHeader(std::ostream& os, const CsvHeader& header) {
+  ICTM_REQUIRE(header.nodes > 0 && header.bins > 0 &&
+                   header.binSeconds > 0.0,
+               "invalid TM CSV header fields");
+  os << "# ictm-tm nodes=" << header.nodes << " bins=" << header.bins
+     << " binSeconds=" << std::setprecision(17) << header.binSeconds
+     << "\n";
+}
+
+void WriteCsvBin(std::ostream& os, std::size_t nodes, const double* bin) {
+  os << std::setprecision(17);
+  const std::size_t n2 = nodes * nodes;
+  for (std::size_t k = 0; k < n2; ++k) {
+    if (k != 0) os << ',';
+    os << bin[k];
+  }
+  os << '\n';
+}
+
+void WriteCsv(std::ostream& os, const TrafficMatrixSeries& series) {
+  WriteCsvHeader(os, {series.nodeCount(), series.binCount(),
+                      series.binSeconds()});
+  for (std::size_t t = 0; t < series.binCount(); ++t) {
+    WriteCsvBin(os, series.nodeCount(), series.binData(t));
   }
   ICTM_REQUIRE(os.good(), "stream failure while writing TM CSV");
 }
@@ -31,41 +106,11 @@ void WriteCsvFile(const std::string& path,
 }
 
 TrafficMatrixSeries ReadCsv(std::istream& is) {
-  std::string header;
-  ICTM_REQUIRE(static_cast<bool>(std::getline(is, header)),
-               "missing TM CSV header");
-  std::size_t nodes = 0, bins = 0;
-  double binSeconds = 0.0;
-  {
-    std::istringstream hs(header);
-    std::string token;
-    while (hs >> token) {
-      if (token.rfind("nodes=", 0) == 0) {
-        nodes = static_cast<std::size_t>(std::stoul(token.substr(6)));
-      } else if (token.rfind("bins=", 0) == 0) {
-        bins = static_cast<std::size_t>(std::stoul(token.substr(5)));
-      } else if (token.rfind("binSeconds=", 0) == 0) {
-        binSeconds = std::stod(token.substr(11));
-      }
-    }
+  const CsvHeader h = ReadCsvHeader(is);
+  TrafficMatrixSeries series(h.nodes, h.bins, h.binSeconds);
+  for (std::size_t t = 0; t < h.bins; ++t) {
+    ReadCsvBin(is, h, t, series.binData(t));
   }
-  ICTM_REQUIRE(nodes > 0 && bins > 0 && binSeconds > 0.0,
-               "malformed TM CSV header: " + header);
-
-  TrafficMatrixSeries series(nodes, bins, binSeconds);
-  std::string line;
-  for (std::size_t t = 0; t < bins; ++t) {
-    ICTM_REQUIRE(static_cast<bool>(std::getline(is, line)),
-                 "TM CSV truncated at bin " + std::to_string(t));
-    std::istringstream ls(line);
-    std::string cell;
-    for (std::size_t k = 0; k < nodes * nodes; ++k) {
-      ICTM_REQUIRE(static_cast<bool>(std::getline(ls, cell, ',')),
-                   "TM CSV row too short at bin " + std::to_string(t));
-      series(t, k / nodes, k % nodes) = std::stod(cell);
-    }
-  }
-  ICTM_REQUIRE(series.isValid(), "TM CSV contains invalid values");
   return series;
 }
 

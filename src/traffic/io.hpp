@@ -3,14 +3,46 @@
 // Format: a header line "# ictm-tm nodes=<n> bins=<T> binSeconds=<s>",
 // then one line per bin with n*n comma-separated values in row-major
 // (i*n+j) order.  Round-trips exactly at full double precision.
+//
+// The whole-series readers/writers are built on streaming helpers
+// (ReadCsvHeader / ReadCsvBin / WriteCsvHeader / WriteCsvBin) so the
+// stream module's CSV↔binary converters can process one bin at a time
+// with bounded memory.  The parser is strict: every cell must be a
+// finite, non-negative number and every row must hold exactly n*n
+// cells — malformed lines raise ictm::Error naming the offending bin
+// instead of silently producing a corrupt series.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
 #include "traffic/tm_series.hpp"
 
 namespace ictm::traffic {
+
+/// Parsed metadata of a TM CSV header line.
+struct CsvHeader {
+  std::size_t nodes = 0;   ///< matrix dimension n
+  std::size_t bins = 0;    ///< number of time bins T
+  double binSeconds = 0.0; ///< bin duration metadata
+};
+
+/// Reads and validates the header line; throws on malformed input.
+CsvHeader ReadCsvHeader(std::istream& is);
+
+/// Reads the next bin line into `outBin` (n² doubles, FlattenTm
+/// order).  `binIndex` is used in error messages only.  Throws on
+/// truncation, non-numeric cells, NaN/Inf, negative values, or a cell
+/// count different from nodes².
+void ReadCsvBin(std::istream& is, const CsvHeader& header,
+                std::size_t binIndex, double* outBin);
+
+/// Writes the header line for a series of the given shape.
+void WriteCsvHeader(std::ostream& os, const CsvHeader& header);
+
+/// Writes one bin line (n² doubles) at full round-trip precision.
+void WriteCsvBin(std::ostream& os, std::size_t nodes, const double* bin);
 
 /// Writes the series to a stream.
 void WriteCsv(std::ostream& os, const TrafficMatrixSeries& series);

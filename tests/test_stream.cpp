@@ -1,0 +1,407 @@
+// Tests for the streaming subsystem: the ictmb binary trace format
+// (round-trip, CRC rejection, converters), the StreamingEstimator's
+// streaming ≡ batch bit-identity contract, and the connection
+// aggregator.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "conngen/generator.hpp"
+#include "core/estimation.hpp"
+#include "core/priors.hpp"
+#include "stats/rng.hpp"
+#include "stream/aggregate.hpp"
+#include "stream/format.hpp"
+#include "stream/online.hpp"
+#include "test_util.hpp"
+#include "topology/routing.hpp"
+#include "topology/topologies.hpp"
+#include "traffic/io.hpp"
+
+namespace ictm::stream {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+traffic::TrafficMatrixSeries RandomSeries(std::size_t nodes,
+                                          std::size_t bins,
+                                          std::uint64_t seed) {
+  stats::Rng rng(seed);
+  traffic::TrafficMatrixSeries s(nodes, bins, 300.0);
+  for (std::size_t t = 0; t < bins; ++t) {
+    double* bin = s.binData(t);
+    for (std::size_t k = 0; k < nodes * nodes; ++k) {
+      bin[k] = rng.uniform(0.0, 1e9);
+    }
+  }
+  return s;
+}
+
+void ExpectBitIdentical(const traffic::TrafficMatrixSeries& a,
+                        const traffic::TrafficMatrixSeries& b) {
+  ASSERT_EQ(a.nodeCount(), b.nodeCount());
+  ASSERT_EQ(a.binCount(), b.binCount());
+  const std::size_t n2 = a.nodeCount() * a.nodeCount();
+  for (std::size_t t = 0; t < a.binCount(); ++t) {
+    const double* pa = a.binData(t);
+    const double* pb = b.binData(t);
+    for (std::size_t k = 0; k < n2; ++k) {
+      ASSERT_EQ(pa[k], pb[k]) << "bin " << t << " element " << k;
+    }
+  }
+}
+
+// ---- binary format ---------------------------------------------------------
+
+TEST(TraceFormat, RoundTripsAtFullPrecision) {
+  const auto series = RandomSeries(5, 23, 7);
+  const std::string path = TempPath("roundtrip.ictmb");
+  // binsPerChunk = 4 forces several chunks plus a partial tail chunk.
+  WriteTraceFile(path, series, 4);
+
+  TraceReader reader(path);
+  EXPECT_EQ(reader.info().nodes, 5u);
+  EXPECT_EQ(reader.info().bins, 23u);
+  EXPECT_DOUBLE_EQ(reader.info().binSeconds, 300.0);
+  EXPECT_EQ(reader.info().binsPerChunk, 4u);
+  EXPECT_EQ(reader.info().chunks, 6u);  // 5 full + 1 partial
+
+  const auto back = reader.readAll();
+  ExpectBitIdentical(series, back);
+}
+
+TEST(TraceFormat, StreamingWriterMatchesWholeSeriesWriter) {
+  const auto series = RandomSeries(3, 10, 11);
+  const std::string a = TempPath("writer_a.ictmb");
+  const std::string b = TempPath("writer_b.ictmb");
+  WriteTraceFile(a, series, 4);
+  {
+    TraceWriter writer(b, series.nodeCount(), series.binSeconds(), 4);
+    for (std::size_t t = 0; t < series.binCount(); ++t) {
+      writer.append(series.binData(t));
+    }
+    writer.close();
+    EXPECT_EQ(writer.binsWritten(), 10u);
+  }
+  std::ifstream fa(a, std::ios::binary), fb(b, std::ios::binary);
+  std::string ca((std::istreambuf_iterator<char>(fa)),
+                 std::istreambuf_iterator<char>());
+  std::string cb((std::istreambuf_iterator<char>(fb)),
+                 std::istreambuf_iterator<char>());
+  EXPECT_EQ(ca, cb);  // byte-identical files
+}
+
+TEST(TraceFormat, RandomAccessSeek) {
+  const auto series = RandomSeries(4, 17, 3);
+  const std::string path = TempPath("seek.ictmb");
+  WriteTraceFile(path, series, 5);
+
+  TraceReader reader(path);
+  std::vector<double> bin(16);
+  for (std::size_t t : {13u, 2u, 16u, 0u, 9u}) {
+    reader.seek(t);
+    ASSERT_TRUE(reader.next(bin.data()));
+    for (std::size_t k = 0; k < 16; ++k) {
+      EXPECT_EQ(bin[k], series.binData(t)[k]) << "bin " << t;
+    }
+  }
+  reader.seek(17);
+  EXPECT_FALSE(reader.next(bin.data()));
+  EXPECT_THROW(reader.seek(18), Error);
+}
+
+TEST(TraceFormat, RejectsTruncationAndCorruption) {
+  const auto series = RandomSeries(3, 8, 5);
+  const std::string path = TempPath("corrupt.ictmb");
+  WriteTraceFile(path, series, 4);
+
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+
+  // Truncation loses the footer/index.
+  {
+    const std::string p = TempPath("truncated.ictmb");
+    std::ofstream out(p, std::ios::binary);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+    out.close();
+    EXPECT_THROW(TraceReader r(p), Error);
+  }
+  // A flipped payload byte fails the chunk CRC (header is 40 bytes;
+  // offset 60 sits inside the first chunk's payload).
+  {
+    std::string damaged = bytes;
+    damaged[60] = static_cast<char>(damaged[60] ^ 0x01);
+    const std::string p = TempPath("bitflip.ictmb");
+    std::ofstream out(p, std::ios::binary);
+    out.write(damaged.data(),
+              static_cast<std::streamsize>(damaged.size()));
+    out.close();
+    TraceReader reader(p);  // header/index still valid
+    std::vector<double> bin(9);
+    EXPECT_THROW(reader.next(bin.data()), Error);
+  }
+  // A flipped index byte fails the index CRC at open.
+  {
+    std::string damaged = bytes;
+    damaged[damaged.size() - 30] =
+        static_cast<char>(damaged[damaged.size() - 30] ^ 0x01);
+    const std::string p = TempPath("badindex.ictmb");
+    std::ofstream out(p, std::ios::binary);
+    out.write(damaged.data(),
+              static_cast<std::streamsize>(damaged.size()));
+    out.close();
+    EXPECT_THROW(TraceReader r(p), Error);
+  }
+  // Not a trace at all.
+  {
+    const std::string p = TempPath("not_a_trace.ictmb");
+    std::ofstream out(p);
+    out << "# ictm-tm nodes=2 bins=1 binSeconds=300\n1,2,3,4\n";
+    out.close();
+    EXPECT_FALSE(IsTraceFile(p));
+    EXPECT_THROW(TraceReader r(p), Error);
+  }
+  EXPECT_TRUE(IsTraceFile(path));
+}
+
+TEST(TraceFormat, CsvConvertersRoundTrip) {
+  const auto series = RandomSeries(4, 9, 13);
+  const std::string csv = TempPath("convert_in.csv");
+  const std::string trace = TempPath("convert.ictmb");
+  const std::string csvBack = TempPath("convert_out.csv");
+  traffic::WriteCsvFile(csv, series);
+
+  ConvertCsvToTrace(csv, trace, 4);
+  ExpectBitIdentical(series, ReadTraceFile(trace));
+
+  ConvertTraceToCsv(trace, csvBack);
+  ExpectBitIdentical(series, traffic::ReadCsvFile(csvBack));
+}
+
+// ---- streaming estimator ---------------------------------------------------
+
+struct StreamFixture {
+  topology::Graph graph = topology::MakeRing(6, 2);
+  linalg::CsrMatrix routing = topology::BuildRoutingCsr(graph);
+  traffic::TrafficMatrixSeries truth = RandomSeries(6, 24, 99);
+};
+
+TEST(StreamingEstimator, BitIdenticalAcrossThreadsAndQueueSizes) {
+  StreamFixture fx;
+  StreamingOptions base;
+  base.f = 0.25;
+  base.window = 8;
+  base.threads = 1;
+  const StreamingRunResult serial =
+      EstimateSeriesStreaming(fx.routing, fx.truth, base);
+
+  for (std::size_t threads : {2u, 8u}) {
+    for (std::size_t capacity : {1u, 3u, 64u}) {
+      StreamingOptions opts = base;
+      opts.threads = threads;
+      opts.queueCapacity = capacity;
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " capacity=" + std::to_string(capacity));
+      const StreamingRunResult run =
+          EstimateSeriesStreaming(fx.routing, fx.truth, opts);
+      ExpectBitIdentical(serial.estimates, run.estimates);
+      ExpectBitIdentical(serial.priors, run.priors);
+    }
+  }
+}
+
+TEST(StreamingEstimator, MatchesBatchEstimateSeriesBitForBit) {
+  StreamFixture fx;
+  for (std::size_t window : {1u, 8u}) {
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      StreamingOptions opts;
+      opts.f = 0.25;
+      opts.window = window;
+      opts.threads = threads;
+      SCOPED_TRACE("window=" + std::to_string(window) +
+                   " threads=" + std::to_string(threads));
+      const StreamingRunResult run =
+          EstimateSeriesStreaming(fx.routing, fx.truth, opts);
+
+      // The batch engine fed the exact priors the streaming path
+      // derived must reproduce the streaming estimates bit for bit.
+      core::EstimationOptions batch;
+      batch.threads = 2;
+      const auto reference = core::EstimateSeries(fx.routing, fx.truth,
+                                                  run.priors, batch);
+      ExpectBitIdentical(reference, run.estimates);
+    }
+  }
+}
+
+TEST(StreamingEstimator, WindowZeroReproducesBatchStableFPPrior) {
+  StreamFixture fx;
+  const linalg::Vector preference{0.30, 0.25, 0.15, 0.12, 0.10, 0.08};
+  StreamingOptions opts;
+  opts.f = 0.3;
+  opts.preference = preference;
+  opts.window = 0;
+  opts.threads = 4;
+  const StreamingRunResult run =
+      EstimateSeriesStreaming(fx.routing, fx.truth, opts);
+
+  const auto marginals = core::ExtractMarginals(fx.truth);
+  const auto batchPrior = core::StableFPPrior(
+      0.3, preference, marginals, fx.truth.binSeconds());
+  ExpectBitIdentical(batchPrior, run.priors);
+}
+
+TEST(StreamingEstimator, RejectsBadConfiguration) {
+  StreamFixture fx;
+  auto noop = [](std::size_t, const double*, const double*) {};
+  {
+    StreamingOptions opts;
+    opts.queueCapacity = 0;
+    EXPECT_THROW(
+        StreamingEstimator e(fx.routing, 6, opts, noop), Error);
+  }
+  {
+    StreamingOptions opts;
+    opts.f = 0.5;
+    opts.window = 4;  // closed forms are singular at f = 1/2
+    EXPECT_THROW(
+        StreamingEstimator e(fx.routing, 6, opts, noop), Error);
+  }
+  {
+    StreamingOptions opts;
+    StreamingEstimator e(fx.routing, 6, opts, noop);
+    BinEvent bad;
+    bad.linkLoads.assign(fx.routing.rows(), 0.0);
+    bad.ingress.assign(5, 0.0);  // wrong length
+    bad.egress.assign(6, 0.0);
+    EXPECT_THROW(e.push(std::move(bad)), Error);
+    e.finish();
+    EXPECT_THROW(e.push(BinEvent{}), Error);
+  }
+}
+
+// ---- connection aggregator -------------------------------------------------
+
+TEST(ConnectionAggregator, ReproducesGeneratorSeriesAndLinkLoads) {
+  const std::size_t n = 5;
+  const std::size_t bins = 6;
+  topology::Graph g = topology::MakeRing(n, 2);
+  const linalg::CsrMatrix routing = topology::BuildRoutingCsr(g);
+
+  conngen::GeneratorConfig cfg;
+  cfg.activities.assign(n, std::vector<double>(bins, 5e6));
+  cfg.preferences.assign(n, 1.0);
+  stats::Rng rng(21);
+  std::vector<conngen::Connection> connections;
+  const auto generated =
+      conngen::GenerateTraffic(cfg, 300.0, rng, &connections);
+
+  traffic::TrafficMatrixSeries rebuilt(n, bins, 300.0);
+  std::vector<std::vector<double>> loads;
+  ConnectionAggregator aggr(
+      routing, n,
+      [&](std::size_t bin, const BinEvent& event, const double* tmBin) {
+        ASSERT_LT(bin, bins);
+        std::copy(tmBin, tmBin + n * n, rebuilt.binData(bin));
+        loads.push_back(event.linkLoads);
+        // Marginals must match the accumulated bin.
+        for (std::size_t i = 0; i < n; ++i) {
+          double rowSum = 0.0, colSum = 0.0;
+          for (std::size_t j = 0; j < n; ++j) {
+            rowSum += tmBin[i * n + j];
+            colSum += tmBin[j * n + i];
+          }
+          EXPECT_DOUBLE_EQ(event.ingress[i], rowSum);
+          EXPECT_DOUBLE_EQ(event.egress[i], colSum);
+        }
+      });
+  for (const auto& c : connections) aggr.add(c);
+  aggr.flush();
+
+  ASSERT_EQ(aggr.binsEmitted(), bins);
+  ExpectBitIdentical(generated.series, rebuilt);
+
+  // Link loads equal R · x for every emitted bin.
+  std::vector<double> expected(routing.rows());
+  for (std::size_t t = 0; t < bins; ++t) {
+    routing.MultiplyInto(generated.series.binData(t), expected.data());
+    for (std::size_t l = 0; l < expected.size(); ++l) {
+      EXPECT_EQ(loads[t][l], expected[l]) << "bin " << t;
+    }
+  }
+}
+
+TEST(ConnectionAggregator, EmitsEmptyBinsForGapsAndRejectsRegression) {
+  const std::size_t n = 3;
+  topology::Graph g = topology::MakeRing(n, 1);
+  const linalg::CsrMatrix routing = topology::BuildRoutingCsr(g);
+
+  std::vector<std::size_t> seen;
+  ConnectionAggregator aggr(
+      routing, n,
+      [&](std::size_t bin, const BinEvent&, const double*) {
+        seen.push_back(bin);
+      });
+  aggr.add({0, 1, 0, 100.0, 50.0, 2});  // first activity in bin 2
+  aggr.add({1, 2, 0, 10.0, 5.0, 4});
+  EXPECT_THROW(aggr.add({0, 1, 0, 1.0, 1.0, 3}), Error);  // goes back
+  aggr.flush();
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+// ---- end-to-end: connections → aggregator → estimator ----------------------
+
+TEST(StreamingPipeline, ConnectionsToEstimatesEndToEnd) {
+  const std::size_t n = 6;
+  const std::size_t bins = 12;
+  topology::Graph g = topology::MakeRing(n, 2);
+  const linalg::CsrMatrix routing = topology::BuildRoutingCsr(g);
+
+  conngen::GeneratorConfig cfg;
+  cfg.activities.assign(n, std::vector<double>(bins, 2e7));
+  cfg.preferences = {4.0, 3.0, 2.0, 1.0, 1.0, 1.0};
+  stats::Rng rng(5);
+  std::vector<conngen::Connection> connections;
+  const auto generated =
+      conngen::GenerateTraffic(cfg, 300.0, rng, &connections);
+
+  StreamingOptions opts;
+  opts.threads = 4;
+  opts.window = 4;
+  traffic::TrafficMatrixSeries estimates(n, bins, 300.0);
+  StreamingEstimator estimator(
+      routing, n, opts,
+      [&](std::size_t seq, const double* estimate, const double*) {
+        std::copy(estimate, estimate + n * n, estimates.binData(seq));
+      });
+  ConnectionAggregator aggr(
+      routing, n,
+      [&](std::size_t, const BinEvent& event, const double*) {
+        estimator.push(BinEvent(event));
+      });
+  for (const auto& c : connections) aggr.add(c);
+  aggr.flush();
+  estimator.finish();
+
+  EXPECT_EQ(estimator.emittedCount(), bins);
+  EXPECT_TRUE(estimates.isValid());
+  // Estimates respect the marginals (IPF step): ingress sums match.
+  for (std::size_t t = 0; t < bins; ++t) {
+    const auto estIn = estimates.ingress(t);
+    const auto truthIn = generated.series.ingress(t);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(estIn[i], truthIn[i],
+                  1e-6 * std::max(1.0, truthIn[i]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ictm::stream

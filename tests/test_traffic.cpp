@@ -181,6 +181,61 @@ TEST(CsvIo, RejectsMalformedInput) {
   EXPECT_THROW(ReadCsv(shortRow), ictm::Error);
 }
 
+TEST(CsvIo, RejectsNanInfAndNegativeValues) {
+  // NaN, Inf and negative cells must raise a clear error instead of
+  // silently producing a corrupt series.
+  std::stringstream nan(
+      "# ictm-tm nodes=2 bins=1 binSeconds=300\n1,nan,3,4\n");
+  EXPECT_THROW(ReadCsv(nan), ictm::Error);
+
+  std::stringstream inf(
+      "# ictm-tm nodes=2 bins=1 binSeconds=300\n1,inf,3,4\n");
+  EXPECT_THROW(ReadCsv(inf), ictm::Error);
+
+  std::stringstream negative(
+      "# ictm-tm nodes=2 bins=1 binSeconds=300\n1,-2,3,4\n");
+  EXPECT_THROW(ReadCsv(negative), ictm::Error);
+
+  std::stringstream garbage(
+      "# ictm-tm nodes=2 bins=1 binSeconds=300\n1,abc,3,4\n");
+  EXPECT_THROW(ReadCsv(garbage), ictm::Error);
+}
+
+TEST(CsvIo, RejectsMismatchedCellCounts) {
+  std::stringstream tooMany(
+      "# ictm-tm nodes=2 bins=1 binSeconds=300\n1,2,3,4,5\n");
+  EXPECT_THROW(ReadCsv(tooMany), ictm::Error);
+
+  std::stringstream tooFew(
+      "# ictm-tm nodes=2 bins=1 binSeconds=300\n1,2\n");
+  EXPECT_THROW(ReadCsv(tooFew), ictm::Error);
+
+  // Trailing carriage returns (Windows line endings) are tolerated.
+  std::stringstream crlf(
+      "# ictm-tm nodes=2 bins=1 binSeconds=300\n1,2,3,4\r\n");
+  const TrafficMatrixSeries s = ReadCsv(crlf);
+  EXPECT_DOUBLE_EQ(s(0, 1, 1), 4.0);
+}
+
+TEST(CsvIo, StreamingHelpersMatchWholeSeriesPath) {
+  TrafficMatrixSeries s(2, 3, 300.0);
+  for (std::size_t t = 0; t < 3; ++t)
+    for (std::size_t k = 0; k < 4; ++k)
+      s.binData(t)[k] = double(t * 4 + k) / 3.0;
+  std::stringstream ss;
+  WriteCsv(ss, s);
+
+  const CsvHeader h = ReadCsvHeader(ss);
+  EXPECT_EQ(h.nodes, 2u);
+  EXPECT_EQ(h.bins, 3u);
+  double bin[4];
+  for (std::size_t t = 0; t < 3; ++t) {
+    ReadCsvBin(ss, h, t, bin);
+    for (std::size_t k = 0; k < 4; ++k)
+      EXPECT_DOUBLE_EQ(bin[k], s.binData(t)[k]);
+  }
+}
+
 TEST(CsvIo, FileRoundTrip) {
   TrafficMatrixSeries s(2, 2, 300.0);
   s(0, 0, 1) = 42.5;

@@ -1,7 +1,8 @@
 // ictm — command-line front end for the library.
 //
 // Subcommands:
-//   list        list the registered experiment scenarios
+//   list        list the registered experiment scenarios (--json for a
+//               machine-readable listing)
 //   run         run scenarios (paper figures, ablations, what-ifs) and
 //               emit deterministic JSON results
 //   synthesize  generate a synthetic TM series (Sec. 5.5 recipe) to CSV
@@ -12,18 +13,28 @@
 //   fmeasure    simulate a packet trace pair and measure f (Sec. 5.2)
 //   estimate    tomogravity estimation of a TM CSV from its link loads
 //               (simulated SNMP on a canned topology), multi-threaded
+//   stream      online estimation of a trace (ictmb or CSV) through the
+//               streaming subsystem: bounded queue, worker pool,
+//               sliding-window prior re-fit
+//   convert     convert between the TM CSV format and the ictmb
+//               chunked binary trace format (direction auto-detected)
 //
 // Exit codes: 0 success; 1 runtime error or a failed scenario check;
 // 2 usage error (also printed for no/unknown subcommands).
 //
-// All matrices use the CSV format of traffic/io.hpp.
+// Matrices use the CSV format of traffic/io.hpp or the ictmb binary
+// format of stream/format.hpp.
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -38,6 +49,8 @@
 #include "core/priors.hpp"
 #include "core/synthesis.hpp"
 #include "scenario/scenario.hpp"
+#include "stream/format.hpp"
+#include "stream/online.hpp"
 #include "topology/routing.hpp"
 #include "topology/topologies.hpp"
 #include "traffic/io.hpp"
@@ -49,8 +62,10 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  ictm list\n"
+               "  ictm list [--json]\n"
                "      list the registered experiment scenarios\n"
+               "      --json  machine-readable listing (name, artifact,\n"
+               "              title, expectation) for tooling\n"
                "  ictm run <scenario...|all> [--threads N] [--out DIR]\n"
                "           [--seed S] [--tiny]\n"
                "      run scenarios; deterministic JSON per scenario\n"
@@ -70,13 +85,62 @@ int Usage() {
                "                abilene11 — auto picks by node count\n"
                "      threads:  worker threads for the per-bin fan-out\n"
                "                (0 = all cores, the default)\n"
+               "  ictm stream <trace.ictmb|tm.csv> [--topology T]\n"
+               "           [--threads N] [--window W] [--queue C]\n"
+               "           [--f F] [--out DIR]\n"
+               "      online estimation through the streaming subsystem\n"
+               "      (bounded queue + worker pool + reorder buffer);\n"
+               "      input format is sniffed, not taken from the\n"
+               "      extension\n"
+               "      --topology T  auto (default), geant22, totem23,\n"
+               "                    abilene11\n"
+               "      --threads N   estimation workers (0 = all cores)\n"
+               "      --window W    re-fit the IC prior's preference\n"
+               "                    every W bins (0 = keep initial fit)\n"
+               "      --queue C     bounded queue capacity (default 64)\n"
+               "      --f F         forward fraction of the prior\n"
+               "                    (yesterday's fit; default 0.25)\n"
+               "      --out DIR     write DIR/estimates.ictmb and\n"
+               "                    DIR/priors.ictmb\n"
+               "  ictm convert <in> <out> [--chunk K]\n"
+               "      convert TM CSV -> ictmb binary trace or back\n"
+               "      (direction auto-detected from the input magic);\n"
+               "      --chunk K sets bins per chunk (default 64)\n"
                "exit codes: 0 success; 1 runtime error or failed scenario\n"
                "check; 2 usage error\n");
   return 2;
 }
 
-int CmdList() {
+int CmdList(int argc, char** argv) {
+  bool asJson = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      asJson = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return Usage();
+    }
+  }
   const auto& scenarios = scenario::ListScenarios();
+  if (asJson) {
+    // Machine-readable listing so tooling can enumerate scenarios
+    // without scraping the human-format output.
+    scenario::json::Array items;
+    for (const auto& info : scenarios) {
+      scenario::json::Object o;
+      o.set("name", info.name);
+      o.set("artifact", info.artifact);
+      o.set("title", info.title);
+      o.set("expectation", info.expectation);
+      items.push_back(scenario::json::Value(std::move(o)));
+    }
+    scenario::json::Object doc;
+    doc.set("schema", "ictm-scenario-list-v1");
+    doc.set("scenarios", scenario::json::Value(std::move(items)));
+    std::printf("%s\n",
+                scenario::json::Value(std::move(doc)).dump(2).c_str());
+    return 0;
+  }
   std::printf("%zu registered scenarios:\n\n", scenarios.size());
   for (const auto& info : scenarios) {
     std::printf("  %-26s %-18s %s\n", info.name.c_str(),
@@ -267,15 +331,21 @@ topology::Graph TopologyByName(const std::string& name, std::size_t nodes) {
   return topology::MakeRing(nodes, 2);
 }
 
-std::size_t ParseThreads(const char* arg) {
+std::size_t ParseSize(const char* arg, const char* what, long min,
+                      long max) {
   char* end = nullptr;
   errno = 0;
   const long v = std::strtol(arg, &end, 10);
-  ICTM_REQUIRE(end != arg && *end == '\0' && errno != ERANGE && v >= 0 &&
-                   v <= 4096,
-               "threads must be an integer in [0, 4096], got: " +
-                   std::string(arg));
+  ICTM_REQUIRE(end != arg && *end == '\0' && errno != ERANGE && v >= min &&
+                   v <= max,
+               std::string(what) + " must be an integer in [" +
+                   std::to_string(min) + ", " + std::to_string(max) +
+                   "], got: " + arg);
   return static_cast<std::size_t>(v);
+}
+
+std::size_t ParseThreads(const char* arg) {
+  return ParseSize(arg, "threads", 0, 4096);
 }
 
 int CmdEstimate(int argc, char** argv) {
@@ -316,6 +386,185 @@ int CmdEstimate(int argc, char** argv) {
   return 0;
 }
 
+int CmdStream(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string inPath = argv[2];
+  std::string topoName = "auto";
+  std::string outDir;
+  stream::StreamingOptions options;
+  options.threads = 0;  // saturate by default
+
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--topology" && i + 1 < argc) {
+      topoName = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      options.threads = ParseThreads(argv[++i]);
+    } else if (arg == "--window" && i + 1 < argc) {
+      options.window = ParseSize(argv[++i], "window", 0, 1 << 20);
+    } else if (arg == "--queue" && i + 1 < argc) {
+      options.queueCapacity = ParseSize(argv[++i], "queue", 1, 1 << 20);
+    } else if (arg == "--f" && i + 1 < argc) {
+      options.f = std::stod(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      outDir = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+
+  // Sniff the input format; either way bins stream one at a time —
+  // peak memory is O(n² · (queue + workers)), never O(n² · T).
+  std::optional<stream::TraceReader> trace;
+  std::ifstream csv;
+  traffic::CsvHeader csvHeader;
+  if (stream::IsTraceFile(inPath)) {
+    trace.emplace(inPath);
+    csvHeader = {trace->info().nodes, trace->info().bins,
+                 trace->info().binSeconds};
+  } else {
+    csv.open(inPath);
+    ICTM_REQUIRE(csv.is_open(), "cannot open file for reading: " + inPath);
+    csvHeader = traffic::ReadCsvHeader(csv);
+  }
+  const std::size_t nodes = csvHeader.nodes;
+  const std::size_t bins = csvHeader.bins;
+  ICTM_REQUIRE(bins > 0, "trace holds no bins: " + inPath);
+
+  const topology::Graph g = TopologyByName(topoName, nodes);
+  ICTM_REQUIRE(g.nodeCount() == nodes,
+               "topology node count does not match the trace");
+  const linalg::CsrMatrix routing = topology::BuildRoutingCsr(g);
+
+  const std::size_t workers = ictm::ResolveThreadCount(options.threads);
+  std::printf("streaming %zu bins x %zu nodes; topology %s (%zu links), "
+              "%zu worker(s), window %zu, queue %zu\n",
+              bins, nodes, topoName.c_str(), g.linkCount(), workers,
+              options.window, options.queueCapacity);
+
+  std::optional<stream::TraceWriter> estWriter, priorWriter;
+  if (!outDir.empty()) {
+    std::filesystem::create_directories(outDir);
+    estWriter.emplace(outDir + "/estimates.ictmb", nodes,
+                      csvHeader.binSeconds);
+    priorWriter.emplace(outDir + "/priors.ictmb", nodes,
+                        csvHeader.binSeconds);
+  }
+
+  // Truth bins in flight between push and emission, for per-bin
+  // scoring; the bounded queue keeps this map small.
+  std::mutex truthMutex;
+  std::map<std::size_t, std::vector<double>> inflight;
+  double sumErrEst = 0.0, sumErrPrior = 0.0, sumImprovePct = 0.0;
+  std::size_t scoredBins = 0, improveBins = 0;
+
+  const auto start = std::chrono::steady_clock::now();
+  {
+    stream::StreamingEstimator estimator(
+        routing, nodes, options,
+        [&](std::size_t seq, const double* estimate, const double* prior) {
+          std::vector<double> truthBin;
+          {
+            std::lock_guard<std::mutex> lock(truthMutex);
+            auto it = inflight.find(seq);
+            truthBin = std::move(it->second);
+            inflight.erase(it);
+          }
+          // Per-bin RelL2 (Frobenius), as core::RelL2TemporalSeries.
+          double truthSq = 0.0, estSq = 0.0, priorSq = 0.0;
+          for (std::size_t k = 0; k < nodes * nodes; ++k) {
+            const double x = truthBin[k];
+            truthSq += x * x;
+            estSq += (x - estimate[k]) * (x - estimate[k]);
+            priorSq += (x - prior[k]) * (x - prior[k]);
+          }
+          if (truthSq > 0.0) {
+            const double errEst = std::sqrt(estSq / truthSq);
+            const double errPrior = std::sqrt(priorSq / truthSq);
+            sumErrEst += errEst;
+            sumErrPrior += errPrior;
+            ++scoredBins;
+            if (errPrior > 0.0) {
+              sumImprovePct += 100.0 * (errPrior - errEst) / errPrior;
+              ++improveBins;
+            }
+          }
+          if (estWriter) {
+            estWriter->append(estimate);
+            priorWriter->append(prior);
+          }
+        });
+
+    std::vector<double> bin(nodes * nodes);
+    for (std::size_t t = 0; t < bins; ++t) {
+      if (trace) {
+        ICTM_REQUIRE(trace->next(bin.data()),
+                     "trace ended before the indexed bin count");
+      } else {
+        traffic::ReadCsvBin(csv, csvHeader, t, bin.data());
+      }
+      {
+        std::lock_guard<std::mutex> lock(truthMutex);
+        inflight.emplace(t, bin);
+      }
+      estimator.push(stream::MakeBinEvent(routing, nodes, bin.data()));
+    }
+    estimator.finish();
+  }
+  const double sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count();
+  std::printf("estimated %zu bins in %.3f s (%.0f bins/s)\n", bins, sec,
+              sec > 0.0 ? double(bins) / sec : 0.0);
+  if (scoredBins > 0) {
+    // Means over the bins that carry traffic (all-zero bins have no
+    // defined RelL2 and are excluded from numerator and denominator).
+    std::printf("mean RelL2 over %zu scored bin(s): streaming estimate "
+                "%.4f vs IC prior %.4f (improvement %.1f%%)\n",
+                scoredBins, sumErrEst / double(scoredBins),
+                sumErrPrior / double(scoredBins),
+                improveBins > 0 ? sumImprovePct / double(improveBins)
+                                : 0.0);
+  } else {
+    std::printf("no bins carried traffic; RelL2 undefined\n");
+  }
+
+  if (estWriter) {
+    estWriter->close();
+    priorWriter->close();
+    std::printf("wrote %s/estimates.ictmb and %s/priors.ictmb\n",
+                outDir.c_str(), outDir.c_str());
+  }
+  return 0;
+}
+
+int CmdConvert(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string inPath = argv[2];
+  const std::string outPath = argv[3];
+  std::size_t binsPerChunk = 64;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--chunk" && i + 1 < argc) {
+      binsPerChunk = ParseSize(argv[++i], "chunk", 1, 1 << 20);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (stream::IsTraceFile(inPath)) {
+    stream::ConvertTraceToCsv(inPath, outPath);
+    std::printf("converted ictmb -> CSV: %s\n", outPath.c_str());
+  } else {
+    stream::ConvertCsvToTrace(inPath, outPath, binsPerChunk);
+    std::printf("converted CSV -> ictmb: %s (%zu bins/chunk)\n",
+                outPath.c_str(), binsPerChunk);
+  }
+  return 0;
+}
+
 int CmdFMeasure(int argc, char** argv) {
   conngen::TraceSimConfig cfg;
   cfg.durationSec = ArgOr(argc, argv, 2, 3600.0);
@@ -338,7 +587,7 @@ int CmdFMeasure(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   try {
-    if (std::strcmp(argv[1], "list") == 0) return CmdList();
+    if (std::strcmp(argv[1], "list") == 0) return CmdList(argc, argv);
     if (std::strcmp(argv[1], "run") == 0) return CmdRun(argc, argv);
     if (std::strcmp(argv[1], "synthesize") == 0)
       return CmdSynthesize(argc, argv);
@@ -350,6 +599,9 @@ int main(int argc, char** argv) {
       return CmdFMeasure(argc, argv);
     if (std::strcmp(argv[1], "estimate") == 0)
       return CmdEstimate(argc, argv);
+    if (std::strcmp(argv[1], "stream") == 0) return CmdStream(argc, argv);
+    if (std::strcmp(argv[1], "convert") == 0)
+      return CmdConvert(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
