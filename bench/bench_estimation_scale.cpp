@@ -11,18 +11,29 @@
 // run must be bit-identical to the single-threaded one, and the sparse
 // engine must agree with the legacy pipeline to solver tolerance.
 //
+// A second mode sweeps generated hierarchical backbones from 22 to 200
+// nodes through the sparse engine and writes the timings as JSON, so
+// the perf trajectory over node count is an archived artifact
+// (BENCH_topology_scale.json in CI).
+//
 // usage: bench_estimation_scale [bins] [threads]
+//        bench_estimation_scale --topo-sweep [out.json] [threads]
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "core/estimation.hpp"
 #include "core/gravity.hpp"
+#include "core/metrics.hpp"
 #include "linalg/lsq.hpp"
+#include "scenario/common.hpp"
 #include "stats/rng.hpp"
 #include "topology/routing.hpp"
 #include "topology/topologies.hpp"
@@ -222,9 +233,89 @@ double MaxRelDiff(const traffic::TrafficMatrixSeries& a,
   return worst;
 }
 
+// Node-count sweep over generated hierarchical backbones: times the
+// sparse engine at 1 and `threads` workers per size and writes the
+// rows as JSON.  The sweep table and per-entry measurement are shared
+// with the topo_scale scenario (scenario::RunTopoSweepEntry); timings
+// are run-environment facts, so this file is a bench artifact, not a
+// deterministic scenario result.
+int RunTopoSweep(const std::string& outPath, std::size_t threads) {
+  namespace json = ictm::scenario::json;
+  const auto& sweep = scenario::DefaultTopoSweep();
+
+  bool allPass = true;
+  json::Array rows;
+  std::printf("topology scale sweep (%zu threads)\n\n", threads);
+  for (std::size_t idx = 0; idx < sweep.size(); ++idx) {
+    const scenario::TopoSweepEntry& entry = sweep[idx];
+    const scenario::TopoSweepRun run = scenario::RunTopoSweepEntry(
+        entry, /*topologySeed=*/0, /*trafficSeed=*/42 + idx,
+        /*baselineThreads=*/1, threads);
+
+    bool finite = true;
+    for (double e : run.errEst) finite = finite && std::isfinite(e);
+    allPass = allPass && run.bitIdentical && finite;
+
+    std::printf("%-14s %4zu nodes, %4zu links: %8.2f ms/bin x1, "
+                "%8.2f ms/bin x%zu (%.2fx) %s\n",
+                entry.spec.c_str(), run.nodes, run.links,
+                1e3 * run.secBaseline / double(entry.bins),
+                1e3 * run.secFanout / double(entry.bins), threads,
+                run.secFanout > 0.0 ? run.secBaseline / run.secFanout
+                                    : 0.0,
+                run.bitIdentical ? "" : "MISMATCH");
+
+    json::Object row;
+    row.set("topology", entry.spec);
+    row.set("nodes", run.nodes);
+    row.set("links", run.links);
+    row.set("routing_rows", run.routingRows);
+    row.set("routing_nnz", run.routingNnz);
+    row.set("bins", entry.bins);
+    row.set("sec_1_thread", run.secBaseline);
+    row.set("sec_n_threads", run.secFanout);
+    row.set("ms_per_bin_1_thread",
+            1e3 * run.secBaseline / double(entry.bins));
+    row.set("ms_per_bin_n_threads",
+            1e3 * run.secFanout / double(entry.bins));
+    row.set("speedup", run.secFanout > 0.0
+                           ? run.secBaseline / run.secFanout
+                           : 0.0);
+    row.set("bit_identical", run.bitIdentical);
+    row.set("est_err_mean", core::Mean(run.errEst));
+    rows.push_back(json::Value(std::move(row)));
+  }
+
+  json::Object doc;
+  doc.set("schema", "ictm-bench-topology-scale-v1");
+  doc.set("threads", threads);
+  doc.set("rows", json::Value(std::move(rows)));
+  std::ofstream os(outPath);
+  if (!os.good()) {
+    std::fprintf(stderr, "cannot open for writing: %s\n", outPath.c_str());
+    return 1;
+  }
+  os << json::Value(std::move(doc)).dump(2);
+  os.flush();
+  if (!os.good()) {
+    std::fprintf(stderr, "write failed: %s\n", outPath.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s: %s\n", outPath.c_str(),
+              allPass ? "PASS" : "FAIL");
+  return allPass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--topo-sweep") == 0) {
+    const std::string out =
+        argc > 2 ? argv[2] : "BENCH_topology_scale.json";
+    const std::size_t sweepThreads =
+        argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 8;
+    return RunTopoSweep(out, std::max<std::size_t>(1, sweepThreads));
+  }
   const std::size_t bins =
       argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 2016;
   const std::size_t threads =

@@ -19,6 +19,8 @@ void RegisterEstimationScenarios();
 void RegisterAblationScenarios();
 /// Registers the estimation/synthesis scaling scenarios.
 void RegisterScaleScenarios();
+/// Registers the topology-workbench scaling scenario (topo_scale).
+void RegisterTopologyScenarios();
 /// Registers the streaming-subsystem scenarios.
 void RegisterStreamScenarios();
 /// Registers the what-if studies.

@@ -3,7 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/estimation.hpp"
+#include "core/gravity.hpp"
+#include "core/metrics.hpp"
+#include "stats/rng.hpp"
 #include "stats/summary.hpp"
+#include "topology/registry.hpp"
+#include "topology/routing.hpp"
 
 namespace ictm::scenario {
 
@@ -68,6 +74,65 @@ WeeklyFitResult FitWeekly(const ScenarioContext& ctx, bool totem,
     out.fits.push_back(core::FitStableFP(week));
   }
   return out;
+}
+
+const std::vector<TopoSweepEntry>& DefaultTopoSweep() {
+  static const std::vector<TopoSweepEntry> sweep = {
+      {"hierarchy:22", 24},
+      {"hierarchy:50", 16},
+      {"hierarchy:100", 8},
+      {"hierarchy:200", 6}};
+  return sweep;
+}
+
+TopoSweepRun RunTopoSweepEntry(const TopoSweepEntry& entry,
+                               std::uint64_t topologySeed,
+                               std::uint64_t trafficSeed,
+                               std::size_t baselineThreads,
+                               std::size_t fanoutThreads) {
+  const topology::Graph g =
+      topology::MakeTopology(entry.spec, topologySeed);
+  const std::size_t n = g.nodeCount();
+  const linalg::CsrMatrix routing = topology::BuildRoutingCsr(g);
+
+  // Diurnally varying random traffic plus gravity priors, as the
+  // estimation_scale scenario uses — every OD pair active.
+  stats::Rng rng(trafficSeed);
+  traffic::TrafficMatrixSeries truth(n, entry.bins, 300.0);
+  for (std::size_t t = 0; t < entry.bins; ++t) {
+    const double diurnal =
+        1.0 + 0.5 * std::sin(2.0 * M_PI * double(t) / 288.0);
+    for (std::size_t k = 0; k < n * n; ++k) {
+      truth.binData(t)[k] = diurnal * rng.uniform(1e6, 1e7);
+    }
+  }
+  const traffic::TrafficMatrixSeries priors =
+      core::GravityPredictSeries(truth);
+
+  core::EstimationOptions options;
+  options.threads = baselineThreads;
+  auto t0 = std::chrono::steady_clock::now();
+  const auto estBase = core::EstimateSeries(routing, truth, priors, options);
+  const double secBase = SecondsSince(t0);
+
+  options.threads = fanoutThreads;
+  t0 = std::chrono::steady_clock::now();
+  const auto estFan = core::EstimateSeries(routing, truth, priors, options);
+  const double secFan = SecondsSince(t0);
+
+  TopoSweepRun run;
+  run.nodes = n;
+  run.links = g.linkCount();
+  run.routingRows = routing.rows();
+  run.routingNnz = routing.nonZeros();
+  run.routingDensityPct = 100.0 * double(routing.nonZeros()) /
+                          double(routing.rows() * routing.cols());
+  run.secBaseline = secBase;
+  run.secFanout = secFan;
+  run.bitIdentical = BitIdentical(estBase, estFan);
+  run.errEst = core::RelL2TemporalSeries(truth, estBase);
+  run.errPrior = core::RelL2TemporalSeries(truth, priors);
+  return run;
 }
 
 json::Value SummaryJson(const std::vector<double>& xs) {

@@ -52,6 +52,44 @@ struct WeeklyFitResult {
 WeeklyFitResult FitWeekly(const ScenarioContext& ctx, bool totem,
                           std::size_t weeks, std::uint64_t canonicalSeed);
 
+/// One entry of the generated-backbone node-count sweep shared by the
+/// topo_scale scenario and `bench_estimation_scale --topo-sweep`.
+struct TopoSweepEntry {
+  std::string spec;  ///< topology registry spec, e.g. "hierarchy:50"
+  std::size_t bins;  ///< synthetic bins to estimate
+};
+
+/// The canonical full-scale sweep: hierarchical backbones at 22, 50,
+/// 100 and 200 nodes, bin counts shrinking as n² grows so a run stays
+/// under a minute.
+const std::vector<TopoSweepEntry>& DefaultTopoSweep();
+
+/// Measurements from one sweep entry run through the sparse
+/// estimation path at two thread counts.
+struct TopoSweepRun {
+  std::size_t nodes = 0;          ///< resolved node count
+  std::size_t links = 0;          ///< directed link count
+  std::size_t routingRows = 0;    ///< routing CSR rows (= links)
+  std::size_t routingNnz = 0;     ///< routing CSR non-zeros
+  double routingDensityPct = 0.0; ///< non-zero fraction in percent
+  double secBaseline = 0.0;       ///< wall clock at baselineThreads
+  double secFanout = 0.0;         ///< wall clock at fanoutThreads
+  bool bitIdentical = false;      ///< fan-out ≡ baseline bit for bit
+  std::vector<double> errEst;     ///< per-bin RelL2 of the estimate
+  std::vector<double> errPrior;   ///< per-bin RelL2 of the gravity prior
+};
+
+/// Resolves `entry.spec` (seeded generators use `topologySeed`),
+/// synthesizes diurnally varying random traffic from `trafficSeed`
+/// with gravity priors, and runs the CSR-only sparse EstimateSeries
+/// at the two thread counts.  The dense routing matrix is never
+/// materialised — the point of the sweep at n = 200.
+TopoSweepRun RunTopoSweepEntry(const TopoSweepEntry& entry,
+                               std::uint64_t topologySeed,
+                               std::uint64_t trafficSeed,
+                               std::size_t baselineThreads,
+                               std::size_t fanoutThreads);
+
 /// {"mean","p10","p50","p90","min","max"} of a sample.
 json::Value SummaryJson(const std::vector<double>& xs);
 

@@ -36,6 +36,7 @@ void EnsureBuiltins() {
     detail::RegisterEstimationScenarios();
     detail::RegisterAblationScenarios();
     detail::RegisterScaleScenarios();
+    detail::RegisterTopologyScenarios();
     detail::RegisterStreamScenarios();
     detail::RegisterWhatIfScenarios();
   });
@@ -148,6 +149,8 @@ void WriteResultFiles(const std::vector<ScenarioResult>& results,
   manifest.set("schema", "ictm-scenario-manifest-v1");
   manifest.set("seed_offset", static_cast<std::int64_t>(ctx.seedOffset));
   manifest.set("scale", ctx.tiny ? "tiny" : "full");
+  manifest.set("topology",
+               ctx.topology.empty() ? "default" : ctx.topology);
   manifest.set("scenarios", json::Value(std::move(names)));
   const fs::path path = fs::path(outDir) / "manifest.json";
   std::ofstream os(path);
@@ -166,9 +169,12 @@ int RunScenarioMain(const std::string& name, int argc, char** argv) {
       ctx.threads = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       ctx.seedOffset = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--topology") == 0 && i + 1 < argc) {
+      ctx.topology = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--tiny] [--threads N] [--seed S]\n",
+                   "usage: %s [--tiny] [--threads N] [--seed S] "
+                   "[--topology SPEC]\n",
                    argv[0]);
       return 2;
     }

@@ -39,6 +39,13 @@ struct ScenarioContext {
   /// Run the reduced 6-node configuration (used by tests and smoke
   /// runs) instead of the full paper-scale one.
   bool tiny = false;
+  /// Optional topology override for the topology-aware scenarios
+  /// (estimation_scale, topo_scale): a registry spec like
+  /// "hierarchy:100" or an `.ictp` file path — see
+  /// topology/registry.hpp.  Empty keeps each scenario's canonical
+  /// topology.  Like the seed offset this is configuration: result
+  /// documents depend on it, thread counts never.
+  std::string topology;
 
   /// The effective seed for a canonical per-scenario seed constant.
   std::uint64_t seed(std::uint64_t canonicalSeed) const {

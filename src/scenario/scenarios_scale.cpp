@@ -14,6 +14,7 @@
 #include "core/synthesis.hpp"
 #include "scenario/builtin.hpp"
 #include "scenario/common.hpp"
+#include "topology/registry.hpp"
 #include "topology/routing.hpp"
 #include "topology/topologies.hpp"
 
@@ -40,8 +41,13 @@ void AppendTimingNote(std::string& notes, const char* what, double sec1,
 
 json::Value RunEstimationScale(const ScenarioContext& ctx,
                                std::string& notes) {
+  // --topology substitutes any registry spec or .ictp file for the
+  // canonical backbone (configuration, like the seed offset).
   const topology::Graph g =
-      ctx.tiny ? topology::MakeRing(6, 2) : topology::MakeGeant22();
+      !ctx.topology.empty()
+          ? topology::MakeTopology(ctx.topology, ctx.seed(91))
+          : (ctx.tiny ? topology::MakeRing(6, 2)
+                      : topology::MakeGeant22());
   const std::size_t n = g.nodeCount();
   const std::size_t bins = ctx.tiny ? 24 : 504;
   const linalg::CsrMatrix routing = topology::BuildRoutingCsr(g);
@@ -78,6 +84,9 @@ json::Value RunEstimationScale(const ScenarioContext& ctx,
   const auto errPrior = core::RelL2TemporalSeries(truth, priors);
 
   json::Object body;
+  body.set("topology", ctx.topology.empty()
+                           ? (ctx.tiny ? "ring:6:2" : "geant22")
+                           : ctx.topology);
   body.set("nodes", n);
   body.set("links", g.linkCount());
   body.set("bins", bins);

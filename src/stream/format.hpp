@@ -57,10 +57,11 @@ class TraceWriter {
   /// Opens `path` for writing and emits the header.
   TraceWriter(const std::string& path, std::size_t nodes,
               double binSeconds, std::size_t binsPerChunk = 64);
+  /// Calls close() as a fallback, swallowing errors.
   ~TraceWriter();
 
-  TraceWriter(const TraceWriter&) = delete;
-  TraceWriter& operator=(const TraceWriter&) = delete;
+  TraceWriter(const TraceWriter&) = delete;             ///< non-copyable
+  TraceWriter& operator=(const TraceWriter&) = delete;  ///< non-copyable
 
   /// Appends one bin (n² doubles in FlattenTm order).
   void append(const double* bin);

@@ -84,8 +84,9 @@ class StreamingEstimator {
   /// finish() explicitly to observe them).
   ~StreamingEstimator();
 
-  StreamingEstimator(const StreamingEstimator&) = delete;
-  StreamingEstimator& operator=(const StreamingEstimator&) = delete;
+  StreamingEstimator(const StreamingEstimator&) = delete;  ///< non-copyable
+  StreamingEstimator& operator=(const StreamingEstimator&) =
+      delete;  ///< non-copyable
 
   /// Enqueues one bin; blocks while the queue is full.  Events are
   /// sequence-stamped in push order.  Throws when a worker has failed
@@ -117,8 +118,8 @@ BinEvent MakeBinEvent(const linalg::CsrMatrix& routing, std::size_t nodes,
 /// priors the estimator derived (feeding these priors to the batch
 /// core::EstimateSeries reproduces `estimates` bit for bit).
 struct StreamingRunResult {
-  traffic::TrafficMatrixSeries estimates;
-  traffic::TrafficMatrixSeries priors;
+  traffic::TrafficMatrixSeries estimates;  ///< emitted TM estimates
+  traffic::TrafficMatrixSeries priors;     ///< the IC priors used per bin
 };
 
 /// Streams a truth series through a StreamingEstimator (simulated

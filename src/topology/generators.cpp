@@ -1,0 +1,173 @@
+#include "topology/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace ictm::topology {
+
+namespace {
+
+// One multiplicative jitter draw (1.0 when disabled), consumed in a
+// fixed order so the graph is a pure function of (cfg, seed).
+double Jitter(stats::Rng& rng, double jitter) {
+  if (jitter <= 0.0) return 1.0;
+  return rng.uniform(1.0 - jitter, 1.0 + jitter);
+}
+
+// Find-with-path-compression over a parent array (for the Waxman
+// connectivity pass; all links are bidirectional, so undirected
+// components are exactly the strongly connected ones).
+std::size_t Find(std::vector<std::size_t>& parent, std::size_t x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+
+}  // namespace
+
+Graph MakeGrid(std::size_t rows, std::size_t cols) {
+  ICTM_REQUIRE(rows >= 1 && cols >= 1 && rows * cols >= 2,
+               "grid needs rows >= 1, cols >= 1 and at least 2 nodes");
+  Graph g;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      g.addNode("g" + std::to_string(r) + "_" + std::to_string(c));
+    }
+  }
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return r * cols + c;
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.addBidirectionalLink(id(r, c), id(r, c + 1), 1.0);
+      if (r + 1 < rows) g.addBidirectionalLink(id(r, c), id(r + 1, c), 1.0);
+    }
+  }
+  ICTM_REQUIRE(IsStronglyConnected(g), "grid must be connected");
+  return g;
+}
+
+Graph MakeHierarchy(const HierarchyConfig& cfg, std::uint64_t seed) {
+  const std::size_t n = cfg.nodes;
+  ICTM_REQUIRE(n >= 3, "hierarchy needs at least 3 nodes");
+  stats::Rng rng(seed);
+
+  // Tier sizes: a small core ring, up to two aggregation PoPs per core
+  // PoP, and everything else as access PoPs.
+  const std::size_t core =
+      std::min(n, std::max<std::size_t>(3, std::min<std::size_t>(10, n / 10)));
+  const std::size_t agg = std::min(n - core, 2 * core);
+  const std::size_t access = n - core - agg;
+
+  Graph g;
+  for (std::size_t i = 0; i < core; ++i) g.addNode("c" + std::to_string(i));
+  for (std::size_t i = 0; i < agg; ++i) g.addNode("a" + std::to_string(i));
+  for (std::size_t i = 0; i < access; ++i)
+    g.addNode("e" + std::to_string(i));
+
+  auto bilink = [&](NodeId a, NodeId b, double baseWeight,
+                    double capacity) {
+    g.addBidirectionalLink(a, b, baseWeight * Jitter(rng, cfg.weightJitter),
+                           capacity);
+  };
+
+  // Core ring plus opposite-node chords on larger cores.
+  for (std::size_t i = 0; i < core; ++i) {
+    bilink(i, (i + 1) % core, cfg.coreWeight, cfg.coreCapacityBps);
+  }
+  if (core >= 6) {
+    for (std::size_t i = 0; i < core / 2; i += 2) {
+      bilink(i, i + core / 2, cfg.coreWeight, cfg.coreCapacityBps);
+    }
+  }
+
+  // Aggregation PoPs, dual-homed to consecutive core PoPs.
+  for (std::size_t j = 0; j < agg; ++j) {
+    const NodeId aggId = core + j;
+    const std::size_t p1 = j % core;
+    bilink(aggId, p1, cfg.aggWeight, cfg.aggCapacityBps);
+    const std::size_t p2 = (p1 + 1) % core;
+    if (p2 != p1) bilink(aggId, p2, cfg.aggWeight, cfg.aggCapacityBps);
+  }
+
+  // Access PoPs, dual-homed to consecutive aggregation PoPs.
+  for (std::size_t k = 0; k < access; ++k) {
+    const NodeId accessId = core + agg + k;
+    const std::size_t q1 = k % agg;
+    bilink(accessId, core + q1, cfg.accessWeight, cfg.accessCapacityBps);
+    const std::size_t q2 = (q1 + 1) % agg;
+    if (q2 != q1)
+      bilink(accessId, core + q2, cfg.accessWeight, cfg.accessCapacityBps);
+  }
+
+  ICTM_REQUIRE(g.nodeCount() == n, "hierarchy node count mismatch");
+  ICTM_REQUIRE(IsStronglyConnected(g), "hierarchy must be connected");
+  return g;
+}
+
+Graph MakeWaxman(const WaxmanConfig& cfg, std::uint64_t seed) {
+  const std::size_t n = cfg.nodes;
+  ICTM_REQUIRE(n >= 2, "waxman needs at least 2 nodes");
+  ICTM_REQUIRE(cfg.alpha > 0.0, "waxman alpha must be > 0");
+  ICTM_REQUIRE(cfg.beta > 0.0 && cfg.beta <= 1.0,
+               "waxman beta must be in (0, 1]");
+  stats::Rng rng(seed);
+
+  Graph g;
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.addNode("w" + std::to_string(i));
+    x[i] = rng.uniform();
+    y[i] = rng.uniform();
+  }
+  const auto dist = [&](std::size_t i, std::size_t j) {
+    return std::hypot(x[i] - x[j], y[i] - y[j]);
+  };
+
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  const double scale = cfg.alpha * std::sqrt(2.0);  // alpha * max distance
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = dist(i, j);
+      const double p = cfg.beta * std::exp(-d / scale);
+      if (rng.uniform() < p) {
+        g.addBidirectionalLink(i, j, 1.0 + d);
+        parent[Find(parent, i)] = Find(parent, j);
+      }
+    }
+  }
+
+  // Join remaining components through their closest node pair (ties
+  // break on the smallest indices), so the graph is always connected
+  // without a retry loop — deterministic in (cfg, seed).
+  for (;;) {
+    std::size_t bestI = n, bestJ = n;
+    double bestD = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (Find(parent, i) == Find(parent, j)) continue;
+        const double d = dist(i, j);
+        if (d < bestD) {
+          bestD = d;
+          bestI = i;
+          bestJ = j;
+        }
+      }
+    }
+    if (bestI == n) break;  // single component
+    g.addBidirectionalLink(bestI, bestJ, 1.0 + bestD);
+    parent[Find(parent, bestI)] = Find(parent, bestJ);
+  }
+
+  ICTM_REQUIRE(IsStronglyConnected(g), "waxman must be connected");
+  return g;
+}
+
+}  // namespace ictm::topology

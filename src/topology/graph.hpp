@@ -12,18 +12,22 @@
 
 #include "common/error.hpp"
 
+/// Network topology: PoP-level graphs with IGP routing, the canned
+/// paper backbones, synthetic generators, the `.ictp` file format and
+/// the spec registry that resolves any of them by name.
 namespace ictm::topology {
 
-/// Identifier types (indices into the graph's node/link tables).
+/// Node identifier (index into the graph's node table).
 using NodeId = std::size_t;
+/// Link identifier (index into the graph's link table).
 using LinkId = std::size_t;
 
 /// A directed link with an IGP weight and capacity.
 struct Link {
-  NodeId src = 0;
-  NodeId dst = 0;
-  double igpWeight = 1.0;
-  double capacityBps = 10e9;
+  NodeId src = 0;               ///< source node id
+  NodeId dst = 0;               ///< destination node id
+  double igpWeight = 1.0;       ///< IGP metric (> 0)
+  double capacityBps = 10e9;    ///< capacity in bits per second
 };
 
 /// A PoP-level network graph.  Nodes are numbered 0..n-1 and carry
@@ -31,6 +35,7 @@ struct Link {
 /// links are added as two directed links).
 class Graph {
  public:
+  /// Constructs an empty graph.
   Graph() = default;
 
   /// Adds a node; returns its id.
@@ -46,14 +51,19 @@ class Graph {
   LinkId addBidirectionalLink(NodeId a, NodeId b, double igpWeight = 1.0,
                               double capacityBps = 10e9);
 
+  /// Number of nodes.
   std::size_t nodeCount() const noexcept { return names_.size(); }
+  /// Number of directed links.
   std::size_t linkCount() const noexcept { return links_.size(); }
 
+  /// Name of a node; throws when the id is out of range.
   const std::string& nodeName(NodeId id) const;
   /// Node id by exact name; throws when absent.
   NodeId nodeByName(const std::string& name) const;
 
+  /// One link by id; throws when the id is out of range.
   const Link& link(LinkId id) const;
+  /// All directed links in id order.
   const std::vector<Link>& links() const noexcept { return links_; }
 
   /// Outgoing link ids of a node.

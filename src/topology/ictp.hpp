@@ -1,0 +1,64 @@
+// `.ictp` — the plain-text topology file format.
+//
+// The canned topologies cover the paper's three datasets; everything
+// else (operator networks, generated backbones, what-if variants)
+// enters the system through this format.  One directive per line:
+//
+//   ictp 1                                  magic + version (first
+//                                           significant line)
+//   node <name>                             defines node ids 0..n-1
+//                                           in declaration order
+//   link <src> <dst> <weight> [<capacity>]  one directed link
+//   bilink <a> <b> <weight> [<capacity>]    a bidirectional pair
+//
+// '#' starts a comment (full-line or trailing); blank lines are
+// ignored.  Node names match [A-Za-z0-9_.-]+ and must be declared
+// before any link references them.  Weights and capacities must be
+// finite and strictly positive; capacity defaults to 10 Gb/s.  The
+// parser is strict — duplicate nodes, dangling endpoints, self-loops,
+// malformed numbers and truncated files all raise ictm::Error carrying
+// the source name and line number — and requires the parsed graph to
+// be strongly connected, because every consumer (routing matrices,
+// estimation) needs that.
+//
+// The writer emits a canonical form (nodes in id order, links in id
+// order, adjacent reverse pairs folded into one `bilink`, numbers in
+// shortest round-trip notation), so equal graphs serialise to
+// byte-identical text — the property `ictm topo gen --seed S`'s
+// reproducibility contract rests on.  docs/FORMATS.md holds the
+// normative grammar.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topology/graph.hpp"
+
+namespace ictm::topology {
+
+/// Parses an `.ictp` document from a stream.  `source` names the input
+/// in error messages ("file.ictp:12: ...").  Throws ictm::Error on any
+/// grammar or semantic violation (see the file comment for the rules).
+Graph ParseIctp(std::istream& is, const std::string& source = "<ictp>");
+
+/// Parses an `.ictp` document held in a string.
+Graph ParseIctpString(const std::string& text,
+                      const std::string& source = "<ictp>");
+
+/// Reads and parses an `.ictp` file; throws on IO failure or malformed
+/// content.
+Graph ReadIctpFile(const std::string& path);
+
+/// Writes the graph in canonical `.ictp` form (see the file comment);
+/// equal graphs produce byte-identical output.  Throws when a node
+/// name cannot be represented (empty or containing characters outside
+/// [A-Za-z0-9_.-]).
+void WriteIctp(std::ostream& os, const Graph& g);
+
+/// The canonical `.ictp` form as a string.
+std::string WriteIctpString(const Graph& g);
+
+/// Writes the canonical `.ictp` form to a file; throws on IO failure.
+void WriteIctpFile(const std::string& path, const Graph& g);
+
+}  // namespace ictm::topology

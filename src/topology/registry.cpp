@@ -1,0 +1,148 @@
+#include "topology/registry.hpp"
+
+#include <charconv>
+#include <vector>
+
+#include "topology/generators.hpp"
+#include "topology/ictp.hpp"
+#include "topology/topologies.hpp"
+
+namespace ictm::topology {
+
+namespace {
+
+std::vector<std::string> SplitColon(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = spec.find(':', start);
+    if (pos == std::string::npos) {
+      parts.push_back(spec.substr(start));
+      return parts;
+    }
+    parts.push_back(spec.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::size_t ParseCount(const std::string& field, const char* what,
+                       const std::string& spec) {
+  std::size_t value = 0;
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  ICTM_REQUIRE(ec == std::errc{} && ptr == end && !field.empty(),
+               std::string("topology spec '") + spec + "': " + what +
+                   " is not a count: '" + field + "'");
+  return value;
+}
+
+double ParsePositive(const std::string& field, const char* what,
+                     const std::string& spec) {
+  double value = 0.0;
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  ICTM_REQUIRE(ec == std::errc{} && ptr == end && value > 0.0,
+               std::string("topology spec '") + spec + "': " + what +
+                   " is not a positive number: '" + field + "'");
+  return value;
+}
+
+[[noreturn]] void FailSpec(const std::string& spec, const std::string& why) {
+  throw Error("topology spec '" + spec + "': " + why +
+              " (see `ictm topo list` for the grammar)");
+}
+
+}  // namespace
+
+const std::vector<TopologyInfo>& ListTopologies() {
+  static const std::vector<TopologyInfo> table = {
+      {"geant22", "canned", "geant22",
+       "22-PoP Géant-like European backbone (paper dataset D1)"},
+      {"totem23", "canned", "totem23",
+       "23-PoP Totem variant: Géant with 'de' split into de1/de2 (D2)"},
+      {"abilene11", "canned", "abilene11",
+       "11-PoP Abilene-like US research backbone (D3)"},
+      {"ring", "generator", "ring:<n>[:<chordStep>]",
+       "n-node ring, optional chords every chordStep nodes"},
+      {"grid", "generator", "grid:<rows>x<cols>",
+       "rows x cols mesh with unit IGP weights"},
+      {"hierarchy", "generator", "hierarchy:<n>",
+       "access/aggregation/core PoP hierarchy; --seed jitters IGP "
+       "weights"},
+      {"waxman", "generator", "waxman:<n>[:<alpha>:<beta>]",
+       "Waxman random graph in the unit square; --seed places nodes "
+       "and links"},
+  };
+  return table;
+}
+
+bool IsTopologyFileSpec(const std::string& spec) {
+  if (spec.size() >= 5 && spec.compare(spec.size() - 5, 5, ".ictp") == 0) {
+    return true;
+  }
+  return spec.find('/') != std::string::npos;
+}
+
+Graph MakeTopology(const std::string& spec, std::uint64_t seed) {
+  ICTM_REQUIRE(!spec.empty(), "topology spec is empty");
+  if (IsTopologyFileSpec(spec)) return ReadIctpFile(spec);
+
+  const std::vector<std::string> parts = SplitColon(spec);
+  const std::string& family = parts[0];
+
+  if (family == "geant22" || family == "totem23" ||
+      family == "abilene11") {
+    if (parts.size() != 1) FailSpec(spec, "canned names take no parameters");
+    if (family == "geant22") return MakeGeant22();
+    if (family == "totem23") return MakeTotem23();
+    return MakeAbilene11();
+  }
+  if (family == "ring") {
+    if (parts.size() < 2 || parts.size() > 3) {
+      FailSpec(spec, "expected ring:<n>[:<chordStep>]");
+    }
+    const std::size_t n = ParseCount(parts[1], "node count", spec);
+    const std::size_t chord =
+        parts.size() == 3 ? ParseCount(parts[2], "chordStep", spec) : 0;
+    return MakeRing(n, chord);
+  }
+  if (family == "grid") {
+    if (parts.size() != 2) FailSpec(spec, "expected grid:<rows>x<cols>");
+    const std::size_t x = parts[1].find('x');
+    if (x == std::string::npos) {
+      FailSpec(spec, "expected grid:<rows>x<cols>");
+    }
+    const std::size_t rows =
+        ParseCount(parts[1].substr(0, x), "rows", spec);
+    const std::size_t cols =
+        ParseCount(parts[1].substr(x + 1), "cols", spec);
+    return MakeGrid(rows, cols);
+  }
+  if (family == "hierarchy") {
+    if (parts.size() != 2) FailSpec(spec, "expected hierarchy:<n>");
+    HierarchyConfig cfg;
+    cfg.nodes = ParseCount(parts[1], "node count", spec);
+    return MakeHierarchy(cfg, seed);
+  }
+  if (family == "waxman") {
+    if (parts.size() != 2 && parts.size() != 4) {
+      FailSpec(spec, "expected waxman:<n>[:<alpha>:<beta>]");
+    }
+    WaxmanConfig cfg;
+    cfg.nodes = ParseCount(parts[1], "node count", spec);
+    if (parts.size() == 4) {
+      cfg.alpha = ParsePositive(parts[2], "alpha", spec);
+      cfg.beta = ParsePositive(parts[3], "beta", spec);
+    }
+    return MakeWaxman(cfg, seed);
+  }
+
+  // No cwd-dependent fallback: file specs must end in .ictp or carry a
+  // path separator (write "./name" for an extensionless local file),
+  // so resolution never depends on what the working directory holds.
+  FailSpec(spec, "unknown topology family '" + family + "'");
+}
+
+}  // namespace ictm::topology

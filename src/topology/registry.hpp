@@ -1,0 +1,55 @@
+// Topology registry: one string spec resolves to any topology the
+// system knows — canned paper backbones, parameterised generator
+// families, or `.ictp` files on disk — so every surface that needs a
+// graph (`ictm estimate/stream/run/topo`, scenarios, benches) shares
+// one resolution path instead of a private name switch.
+//
+// Spec grammar (documented normatively in docs/CLI.md):
+//
+//   geant22 | totem23 | abilene11        canned paper topologies
+//   ring:<n>[:<chordStep>]               ring with optional chords
+//   grid:<rows>x<cols>                   mesh
+//   hierarchy:<n>                        access/aggregation/core PoP
+//                                        hierarchy (seeded weight
+//                                        jitter)
+//   waxman:<n>[:<alpha>:<beta>]          Waxman random graph (seeded)
+//   <path>.ictp or any path with '/'     parsed topology file
+//
+// The seed parameter feeds the seeded generators (hierarchy, waxman);
+// canned topologies, rings, grids and files ignore it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace ictm::topology {
+
+/// Registry metadata for one resolvable topology family.
+struct TopologyInfo {
+  /// Family name, e.g. "geant22" or "hierarchy".
+  std::string name;
+  /// "canned" or "generator".
+  std::string kind;
+  /// The spec syntax that selects it, e.g. "hierarchy:<n>".
+  std::string spec;
+  /// One-line description.
+  std::string summary;
+};
+
+/// All registered topology families, canned entries first.
+const std::vector<TopologyInfo>& ListTopologies();
+
+/// True when `spec` names a file (ends in ".ictp" or contains a path
+/// separator) rather than a registry entry.
+bool IsTopologyFileSpec(const std::string& spec);
+
+/// Resolves a spec (see the file comment for the grammar) into a
+/// graph.  `seed` drives the seeded generators.  Throws ictm::Error on
+/// unknown or malformed specs, unreadable/invalid files, or generator
+/// parameter violations.
+Graph MakeTopology(const std::string& spec, std::uint64_t seed = 0);
+
+}  // namespace ictm::topology

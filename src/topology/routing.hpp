@@ -35,6 +35,7 @@ linalg::CsrMatrix BuildRoutingCsr(const Graph& g,
 /// Computes per-link loads Y = R x for a TM given as an n x n matrix.
 linalg::Vector ComputeLinkLoads(const linalg::Matrix& routing,
                                 const linalg::Matrix& tm);
+/// ComputeLinkLoads over the compressed routing matrix (same result).
 linalg::Vector ComputeLinkLoads(const linalg::CsrMatrix& routing,
                                 const linalg::Matrix& tm);
 

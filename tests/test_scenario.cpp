@@ -94,7 +94,8 @@ TEST(ScenarioRegistry, CoversEveryPaperFigure) {
         "fig10_activity_estimates", "fig11_est_measured",
         "fig12_est_stable_fp", "fig13_est_stable_f", "dof_table",
         "asymmetry_ablation", "synthesis_ablation", "estimation_scale",
-        "synthesis_scale", "whatif_hotspot"}) {
+        "synthesis_scale", "topo_scale", "stream_equivalence",
+        "stream_scale", "whatif_hotspot"}) {
     EXPECT_TRUE(scenario::HasScenario(name)) << name;
   }
 }
@@ -170,6 +171,29 @@ TEST(ScenarioRun, SeedOffsetChangesDataNotSchema) {
   const auto moved = scenario::RunScenario("fig3_model_fit", shifted);
   ExpectSchemaValid(moved);
   EXPECT_NE(base.doc.dump(2), moved.doc.dump(2));
+}
+
+TEST(ScenarioRun, TopologyOverrideEntersDocumentDeterministically) {
+  // --topology is configuration: it changes the result document (like
+  // --seed), while thread counts still never do.
+  scenario::ScenarioContext ctx = TinyContext(1);
+  ctx.topology = "ring:6:2";
+  const auto a = scenario::RunScenario("topo_scale", ctx);
+  ExpectSchemaValid(a);
+  EXPECT_TRUE(a.pass) << a.doc.dump(2);
+  const auto& results = a.doc.asObject().find("results")->asObject();
+  EXPECT_EQ(results.find("topology_override")->asString(), "ring:6:2");
+  const auto& rows = results.find("topologies")->asArray();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].asObject().find("topology")->asString(), "ring:6:2");
+
+  ctx.threads = 4;
+  const auto b = scenario::RunScenario("topo_scale", ctx);
+  EXPECT_EQ(a.doc.dump(2), b.doc.dump(2));
+
+  // The default tiny sweep differs from the override run.
+  const auto base = scenario::RunScenario("topo_scale", TinyContext(1));
+  EXPECT_NE(base.doc.dump(2), a.doc.dump(2));
 }
 
 TEST(ScenarioRun, ParallelRunnerMatchesSerialRuns) {

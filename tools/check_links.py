@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo docs.
+
+Scans README.md and docs/*.md for inline links/images and verifies
+that every relative target resolves to an existing file, and that
+fragment targets (#anchors) match a heading in the target file using
+GitHub's slug rules.  External (http/https/mailto) links are skipped
+— CI must stay hermetic.  Exits non-zero listing every broken link.
+"""
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+FILES = sorted([REPO / "README.md", *(REPO / "docs").glob("*.md")])
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip markdown/code markers and
+    punctuation, lowercase, spaces to hyphens."""
+    text = re.sub(r"[`*_]", "", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: pathlib.Path) -> set[str]:
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            slug = github_slug(m.group(1))
+            # Repeated headings get -1, -2, ... suffixes on GitHub; we
+            # only record the base slug (no doc here repeats headings).
+            anchors.add(slug)
+    return anchors
+
+
+def links_of(path: pathlib.Path):
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def main() -> int:
+    errors = []
+    for md in FILES:
+        if not md.exists():
+            errors.append(f"{md}: file listed for checking does not exist")
+            continue
+        for lineno, target in links_of(md):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            where = f"{md.relative_to(REPO)}:{lineno}"
+            file_part, _, anchor = target.partition("#")
+            dest = md if not file_part else (md.parent / file_part).resolve()
+            if not dest.exists():
+                errors.append(f"{where}: broken link target '{target}'")
+                continue
+            if anchor:
+                if dest.suffix != ".md":
+                    continue  # anchors into non-markdown files: skip
+                if anchor not in anchors_of(dest):
+                    errors.append(
+                        f"{where}: no heading for anchor '#{anchor}' in "
+                        f"{dest.relative_to(REPO)}"
+                    )
+    if errors:
+        print(f"{len(errors)} broken markdown link(s):")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"checked {len(FILES)} file(s): all markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

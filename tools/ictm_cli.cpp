@@ -18,21 +18,28 @@
 //               sliding-window prior re-fit
 //   convert     convert between the TM CSV format and the ictmb
 //               chunked binary trace format (direction auto-detected)
+//   topo        topology workbench: list the registry, show stats,
+//               generate .ictp files from the synthetic generators,
+//               export any spec to canonical .ictp
 //
 // Exit codes: 0 success; 1 runtime error or a failed scenario check;
 // 2 usage error (also printed for no/unknown subcommands).
 //
 // Matrices use the CSV format of traffic/io.hpp or the ictmb binary
-// format of stream/format.hpp.
+// format of stream/format.hpp; topologies resolve through
+// topology/registry.hpp (canned names, generator specs, .ictp files).
+// docs/CLI.md is the full reference.
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -51,6 +58,8 @@
 #include "scenario/scenario.hpp"
 #include "stream/format.hpp"
 #include "stream/online.hpp"
+#include "topology/ictp.hpp"
+#include "topology/registry.hpp"
 #include "topology/routing.hpp"
 #include "topology/topologies.hpp"
 #include "traffic/io.hpp"
@@ -67,33 +76,44 @@ int Usage() {
                "      --json  machine-readable listing (name, artifact,\n"
                "              title, expectation) for tooling\n"
                "  ictm run <scenario...|all> [--threads N] [--out DIR]\n"
-               "           [--seed S] [--tiny]\n"
+               "           [--seed S] [--tiny] [--topology SPEC]\n"
                "      run scenarios; deterministic JSON per scenario\n"
                "      (bit-identical for every --threads value) goes to\n"
                "      DIR/<scenario>.json plus DIR/manifest.json, or to\n"
                "      stdout without --out\n"
-               "      --threads N  worker fan-out (0 = all cores; default)\n"
-               "      --seed S     offset added to the canonical seeds\n"
-               "      --tiny       reduced 6-node smoke configuration\n"
+               "      --threads N     worker fan-out (0 = all cores;\n"
+               "                      default)\n"
+               "      --seed S        offset added to the canonical seeds\n"
+               "      --tiny          reduced 6-node smoke configuration\n"
+               "      --topology SPEC substitute topology for the\n"
+               "                      topology-aware scenarios (name,\n"
+               "                      generator spec or .ictp file)\n"
                "  ictm synthesize <out.csv> [nodes] [bins] [f] [seed]\n"
                "  ictm fit <tm.csv>\n"
                "  ictm gravity <tm.csv>\n"
                "  ictm prior <tm.csv> <f>\n"
                "  ictm fmeasure [durationSec] [connPerSec] [seed]\n"
-               "  ictm estimate <tm.csv> [topology] [threads]\n"
-               "      topology: auto (default), geant22, totem23,\n"
-               "                abilene11 — auto picks by node count\n"
+               "  ictm estimate <tm.csv> [topology] [threads] [seed]\n"
+               "      topology: auto (default) picks a canned topology\n"
+               "                by node count; otherwise any registry\n"
+               "                spec (geant22, hierarchy:100, ...) or\n"
+               "                an .ictp file\n"
                "      threads:  worker threads for the per-bin fan-out\n"
                "                (0 = all cores, the default)\n"
+               "      seed:     generator seed for seeded topology\n"
+               "                specs (default 0; must match the seed\n"
+               "                the topology was generated with)\n"
                "  ictm stream <trace.ictmb|tm.csv> [--topology T]\n"
-               "           [--threads N] [--window W] [--queue C]\n"
-               "           [--f F] [--out DIR]\n"
+               "           [--seed S] [--threads N] [--window W]\n"
+               "           [--queue C] [--f F] [--out DIR]\n"
                "      online estimation through the streaming subsystem\n"
                "      (bounded queue + worker pool + reorder buffer);\n"
                "      input format is sniffed, not taken from the\n"
                "      extension\n"
-               "      --topology T  auto (default), geant22, totem23,\n"
-               "                    abilene11\n"
+               "      --topology T  auto (default), any registry spec\n"
+               "                    or an .ictp file\n"
+               "      --seed S      generator seed for seeded topology\n"
+               "                    specs (default 0)\n"
                "      --threads N   estimation workers (0 = all cores)\n"
                "      --window W    re-fit the IC prior's preference\n"
                "                    every W bins (0 = keep initial fit)\n"
@@ -106,8 +126,21 @@ int Usage() {
                "      convert TM CSV -> ictmb binary trace or back\n"
                "      (direction auto-detected from the input magic);\n"
                "      --chunk K sets bins per chunk (default 64)\n"
+               "  ictm topo list [--json]\n"
+               "      list the topology registry (canned names and\n"
+               "      generator families with their spec syntax)\n"
+               "  ictm topo show <spec> [--seed S] [--json]\n"
+               "      resolve a spec and print node/link/routing stats\n"
+               "  ictm topo gen <spec> [--seed S] [--out FILE]\n"
+               "      generate a topology and write canonical .ictp\n"
+               "      (stdout without --out); byte-reproducible for a\n"
+               "      fixed spec and seed\n"
+               "  ictm topo convert <spec> <out.ictp> [--seed S]\n"
+               "      export any resolvable topology (canned name,\n"
+               "      generator spec or .ictp file) to canonical .ictp\n"
                "exit codes: 0 success; 1 runtime error or failed scenario\n"
-               "check; 2 usage error\n");
+               "check; 2 usage error\n"
+               "full reference: docs/CLI.md\n");
   return 2;
 }
 
@@ -165,6 +198,8 @@ int CmdRun(int argc, char** argv) {
       ctx.threads = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--seed" && i + 1 < argc) {
       ctx.seedOffset = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--topology" && i + 1 < argc) {
+      ctx.topology = argv[++i];
     } else if (arg == "--out" && i + 1 < argc) {
       outDir = argv[++i];
     } else if (arg == "all") {
@@ -313,11 +348,9 @@ int CmdPrior(int argc, char** argv) {
   return 0;
 }
 
-topology::Graph TopologyByName(const std::string& name, std::size_t nodes) {
-  if (name == "geant22") return topology::MakeGeant22();
-  if (name == "totem23") return topology::MakeTotem23();
-  if (name == "abilene11") return topology::MakeAbilene11();
-  ICTM_REQUIRE(name == "auto", "unknown topology: " + name);
+topology::Graph TopologyByName(const std::string& name, std::size_t nodes,
+                               std::uint64_t seed) {
+  if (name != "auto") return topology::MakeTopology(name, seed);
   if (nodes == 22) return topology::MakeGeant22();
   if (nodes == 23) return topology::MakeTotem23();
   if (nodes == 11) return topology::MakeAbilene11();
@@ -326,7 +359,8 @@ topology::Graph TopologyByName(const std::string& name, std::size_t nodes) {
   // routing (and hence the estimates) will not match any real network.
   std::fprintf(stderr,
                "note: no canned topology has %zu nodes; using a "
-               "synthetic ring-with-chords instead\n",
+               "synthetic ring-with-chords instead (pass a registry "
+               "spec or .ictp file to choose the topology)\n",
                nodes);
   return topology::MakeRing(nodes, 2);
 }
@@ -352,7 +386,12 @@ int CmdEstimate(int argc, char** argv) {
   if (argc < 3) return Usage();
   const auto truth = traffic::ReadCsvFile(argv[2]);
   const std::string topoName = argc > 3 ? argv[3] : "auto";
-  const topology::Graph g = TopologyByName(topoName, truth.nodeCount());
+  const std::uint64_t topoSeed =
+      argc > 5 ? static_cast<std::uint64_t>(ParseSize(
+                     argv[5], "seed", 0, std::numeric_limits<long>::max()))
+               : 0;
+  const topology::Graph g =
+      TopologyByName(topoName, truth.nodeCount(), topoSeed);
   ICTM_REQUIRE(g.nodeCount() == truth.nodeCount(),
                "topology node count does not match the TM series");
   const linalg::CsrMatrix routing = topology::BuildRoutingCsr(g);
@@ -391,6 +430,7 @@ int CmdStream(int argc, char** argv) {
   const std::string inPath = argv[2];
   std::string topoName = "auto";
   std::string outDir;
+  std::uint64_t topoSeed = 0;
   stream::StreamingOptions options;
   options.threads = 0;  // saturate by default
 
@@ -398,6 +438,9 @@ int CmdStream(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--topology" && i + 1 < argc) {
       topoName = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      topoSeed = static_cast<std::uint64_t>(ParseSize(
+          argv[++i], "seed", 0, std::numeric_limits<long>::max()));
     } else if (arg == "--threads" && i + 1 < argc) {
       options.threads = ParseThreads(argv[++i]);
     } else if (arg == "--window" && i + 1 < argc) {
@@ -432,7 +475,7 @@ int CmdStream(int argc, char** argv) {
   const std::size_t bins = csvHeader.bins;
   ICTM_REQUIRE(bins > 0, "trace holds no bins: " + inPath);
 
-  const topology::Graph g = TopologyByName(topoName, nodes);
+  const topology::Graph g = TopologyByName(topoName, nodes, topoSeed);
   ICTM_REQUIRE(g.nodeCount() == nodes,
                "topology node count does not match the trace");
   const linalg::CsrMatrix routing = topology::BuildRoutingCsr(g);
@@ -565,6 +608,143 @@ int CmdConvert(int argc, char** argv) {
   return 0;
 }
 
+int CmdTopo(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string sub = argv[2];
+  bool asJson = false;
+  std::uint64_t seed = 0;
+  std::string outPath;
+  std::vector<std::string> positional;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      asJson = true;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(
+          ParseSize(argv[++i], "seed", 0, std::numeric_limits<long>::max()));
+    } else if (arg == "--out" && i + 1 < argc) {
+      outPath = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  if (sub == "list") {
+    const auto& entries = topology::ListTopologies();
+    if (asJson) {
+      scenario::json::Array items;
+      for (const auto& info : entries) {
+        scenario::json::Object o;
+        o.set("name", info.name);
+        o.set("kind", info.kind);
+        o.set("spec", info.spec);
+        o.set("summary", info.summary);
+        items.push_back(scenario::json::Value(std::move(o)));
+      }
+      scenario::json::Object doc;
+      doc.set("schema", "ictm-topology-list-v1");
+      doc.set("topologies", scenario::json::Value(std::move(items)));
+      std::printf("%s\n",
+                  scenario::json::Value(std::move(doc)).dump(2).c_str());
+      return 0;
+    }
+    std::printf("%zu topology families:\n\n", entries.size());
+    for (const auto& info : entries) {
+      std::printf("  %-28s %-10s %s\n", info.spec.c_str(),
+                  info.kind.c_str(), info.summary.c_str());
+    }
+    std::printf("\nany .ictp file path is also a valid spec\n");
+    return 0;
+  }
+
+  if (sub == "show") {
+    if (positional.size() != 1) return Usage();
+    const std::string& spec = positional[0];
+    const topology::Graph g = topology::MakeTopology(spec, seed);
+    const linalg::CsrMatrix routing = topology::BuildRoutingCsr(g);
+
+    std::size_t degMin = SIZE_MAX, degMax = 0;
+    for (std::size_t i = 0; i < g.nodeCount(); ++i) {
+      const std::size_t d = g.outLinks(i).size();
+      degMin = std::min(degMin, d);
+      degMax = std::max(degMax, d);
+    }
+    const double degMean =
+        double(g.linkCount()) / double(g.nodeCount());
+    // Weighted diameter: the longest shortest IGP path.
+    double diameter = 0.0;
+    for (std::size_t s = 0; s < g.nodeCount(); ++s) {
+      const topology::ShortestPaths sp =
+          topology::ComputeShortestPaths(g, s);
+      for (double d : sp.dist) diameter = std::max(diameter, d);
+    }
+    const double densityPct =
+        100.0 * double(routing.nonZeros()) /
+        double(routing.rows() * routing.cols());
+
+    if (asJson) {
+      scenario::json::Object doc;
+      doc.set("schema", "ictm-topology-v1");
+      doc.set("spec", spec);
+      doc.set("seed", static_cast<std::int64_t>(seed));
+      doc.set("nodes", g.nodeCount());
+      doc.set("links", g.linkCount());
+      doc.set("out_degree_min", degMin);
+      doc.set("out_degree_mean", degMean);
+      doc.set("out_degree_max", degMax);
+      doc.set("weighted_diameter", diameter);
+      doc.set("routing_rows", routing.rows());
+      doc.set("routing_cols", routing.cols());
+      doc.set("routing_nnz", routing.nonZeros());
+      doc.set("routing_density_pct", densityPct);
+      std::printf("%s\n",
+                  scenario::json::Value(std::move(doc)).dump(2).c_str());
+      return 0;
+    }
+    std::printf("%s (seed %llu)\n", spec.c_str(),
+                static_cast<unsigned long long>(seed));
+    std::printf("  nodes             %zu\n", g.nodeCount());
+    std::printf("  directed links    %zu\n", g.linkCount());
+    std::printf("  out-degree        min %zu, mean %.2f, max %zu\n",
+                degMin, degMean, degMax);
+    std::printf("  weighted diameter %.3f\n", diameter);
+    std::printf("  routing matrix    %zu x %zu, %zu non-zeros "
+                "(%.3f%% dense)\n",
+                routing.rows(), routing.cols(), routing.nonZeros(),
+                densityPct);
+    return 0;
+  }
+
+  if (sub == "gen") {
+    if (positional.size() != 1) return Usage();
+    const topology::Graph g = topology::MakeTopology(positional[0], seed);
+    if (outPath.empty()) {
+      std::fputs(topology::WriteIctpString(g).c_str(), stdout);
+    } else {
+      topology::WriteIctpFile(outPath, g);
+      std::printf("wrote %zu nodes, %zu directed links to %s\n",
+                  g.nodeCount(), g.linkCount(), outPath.c_str());
+    }
+    return 0;
+  }
+
+  if (sub == "convert") {
+    if (positional.size() != 2) return Usage();
+    const topology::Graph g = topology::MakeTopology(positional[0], seed);
+    topology::WriteIctpFile(positional[1], g);
+    std::printf("wrote %s (%zu nodes, %zu directed links) as canonical "
+                ".ictp\n",
+                positional[1].c_str(), g.nodeCount(), g.linkCount());
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown topo subcommand: %s\n", sub.c_str());
+  return Usage();
+}
+
 int CmdFMeasure(int argc, char** argv) {
   conngen::TraceSimConfig cfg;
   cfg.durationSec = ArgOr(argc, argv, 2, 3600.0);
@@ -602,6 +782,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "stream") == 0) return CmdStream(argc, argv);
     if (std::strcmp(argv[1], "convert") == 0)
       return CmdConvert(argc, argv);
+    if (std::strcmp(argv[1], "topo") == 0) return CmdTopo(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

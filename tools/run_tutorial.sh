@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Executes docs/TUTORIAL.md: extracts every ```sh fenced block and runs
+# them as one bash -euo pipefail script from the repository root, so CI
+# proves the tutorial's commands work exactly as written.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+tutorial="$repo/docs/TUTORIAL.md"
+script="$(mktemp)"
+trap 'rm -f "$script"' EXIT
+
+awk '/^```sh$/ { in_block = 1; next }
+     /^```$/   { in_block = 0; next }
+     in_block  { print }' "$tutorial" > "$script"
+
+if ! [ -s "$script" ]; then
+  echo "error: no \`\`\`sh blocks found in $tutorial" >&2
+  exit 1
+fi
+
+echo "== running $(grep -c . "$script") tutorial lines =="
+(cd "$repo" && bash -euo pipefail "$script")
+echo "== tutorial commands OK =="
