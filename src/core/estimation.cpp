@@ -4,7 +4,10 @@
 #include <cmath>
 
 #include "common/parallel.hpp"
+#include "core/solver_backend.hpp"
 #include "linalg/lsq.hpp"
+#include "linalg/pcg.hpp"
+#include "linalg/sparse_chol.hpp"
 #include "topology/routing.hpp"
 #include "traffic/tm_series.hpp"
 
@@ -69,13 +72,42 @@ void IpfInPlace(double* tm, std::size_t n, const double* rowTargets,
 
 }  // namespace
 
+const char* SolverKindName(SolverKind kind) noexcept {
+  switch (kind) {
+    case SolverKind::kDense:
+      return "dense";
+    case SolverKind::kSparse:
+      return "sparse";
+    case SolverKind::kCg:
+      return "cg";
+    case SolverKind::kAuto:
+      break;
+  }
+  return "auto";
+}
+
+bool ParseSolverKind(std::string_view name, SolverKind* out) noexcept {
+  if (name == "auto") {
+    *out = SolverKind::kAuto;
+  } else if (name == "dense") {
+    *out = SolverKind::kDense;
+  } else if (name == "sparse") {
+    *out = SolverKind::kSparse;
+  } else if (name == "cg") {
+    *out = SolverKind::kCg;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 AugmentedTmSystem::AugmentedTmSystem(const linalg::CsrMatrix& routing,
                                      std::size_t nodes,
                                      bool marginalConstraints)
     : n_(nodes), links_(routing.rows()) {
   ICTM_REQUIRE(routing.cols() == n_ * n_,
                "routing matrix column mismatch");
-  rows_ = marginalConstraints ? links_ + 2 * n_ : links_;
+  rows_ = AugmentedRowCount(links_, n_, marginalConstraints);
   std::vector<linalg::Triplet> entries;
   entries.reserve(routing.nonZeros() +
                   (marginalConstraints ? 2 * n_ * n_ : 0));
@@ -96,12 +128,36 @@ AugmentedTmSystem::AugmentedTmSystem(const linalg::CsrMatrix& routing,
   a_ = linalg::CscMatrix::FromTriplets(rows_, n_ * n_, std::move(entries));
 }
 
+AugmentedTmSystem::~AugmentedTmSystem() = default;
+
+const linalg::SparseNormalAnalysis& AugmentedTmSystem::sparseAnalysis()
+    const {
+  std::call_once(sparseOnce_, [this] {
+    sparse_ = std::make_unique<linalg::SparseNormalAnalysis>(a_);
+  });
+  return *sparse_;
+}
+
+const linalg::FrozenNormalPreconditioner&
+AugmentedTmSystem::cgPreconditioner() const {
+  std::call_once(cgOnce_, [this] {
+    cgPrecond_ = std::make_unique<linalg::FrozenNormalPreconditioner>(a_);
+  });
+  return *cgPrecond_;
+}
+
 TmBinSolver::TmBinSolver(const AugmentedTmSystem& system,
                          const EstimationOptions& options)
     : system_(system),
       options_(options),
       d_(system.rowCount(), 0.0),
-      m_(system.rowCount() * system.rowCount(), 0.0) {}
+      backend_(MakeSolverBackend(system, options)) {}
+
+TmBinSolver::~TmBinSolver() = default;
+
+const char* TmBinSolver::solverName() const noexcept {
+  return backend_->name();
+}
 
 void TmBinSolver::Solve(const double* linkLoads, const double* priorBin,
                         const double* ingress, const double* egress,
@@ -134,18 +190,10 @@ void TmBinSolver::Solve(const double* linkLoads, const double* priorBin,
     }
   }
 
-  // Normal matrix M = A W Aᵀ with W = diag(xp) (prior-weighted
-  // deviations, per tomogravity), plus a relative ridge.
-  linalg::WeightedGramInto(system_.matrix(), priorBin, m_.data());
-  double trace = 0.0;
-  for (std::size_t r = 0; r < rows; ++r) trace += m_[r * rows + r];
-  const double ridge =
-      std::max(trace, 1.0) * options_.relativeRidge +
-      1e-30;  // keep strictly positive even for an all-zero prior
-  for (std::size_t r = 0; r < rows; ++r) m_[r * rows + r] += ridge;
-
-  // Solve (M + ridge) z = d and push back: x = xp + W Aᵀ z.
-  linalg::CholeskySolveInPlace(m_.data(), d, rows);
+  // Solve (A W Aᵀ + ridge) z = d with W = diag(xp) (prior-weighted
+  // deviations, per tomogravity) through the configured backend, then
+  // push back: x = xp + W Aᵀ z.
+  backend_->SolveNormal(priorBin, d);
   for (std::size_t c = 0; c < n2; ++c) {
     const double xp = priorBin[c];
     double x = xp;
@@ -214,12 +262,28 @@ traffic::TrafficMatrixSeries EstimateSeries(
     const traffic::TrafficMatrixSeries& truth,
     const traffic::TrafficMatrixSeries& priors,
     const EstimationOptions& options) {
+  const AugmentedTmSystem sys(routing, truth.nodeCount(),
+                              options.useMarginalConstraints);
+  return EstimateSeries(sys, routing, truth, priors, options);
+}
+
+traffic::TrafficMatrixSeries EstimateSeries(
+    const AugmentedTmSystem& sys, const linalg::CsrMatrix& routing,
+    const traffic::TrafficMatrixSeries& truth,
+    const traffic::TrafficMatrixSeries& priors,
+    const EstimationOptions& options) {
   ICTM_REQUIRE(truth.nodeCount() == priors.nodeCount() &&
                    truth.binCount() == priors.binCount(),
                "truth/prior series shape mismatch");
   const std::size_t n = truth.nodeCount();
   const std::size_t bins = truth.binCount();
-  const AugmentedTmSystem sys(routing, n, options.useMarginalConstraints);
+  ICTM_REQUIRE(sys.nodeCount() == n && sys.linkCount() == routing.rows(),
+               "augmented system does not match the routing matrix");
+  ICTM_REQUIRE(sys.rowCount() ==
+                   AugmentedRowCount(routing.rows(), n,
+                                     options.useMarginalConstraints),
+               "augmented system was built with different marginal "
+               "constraints than the options request");
   traffic::TrafficMatrixSeries out(n, bins, truth.binSeconds());
 
   // Each worker takes a contiguous run of bins and reuses one solver

@@ -6,46 +6,11 @@
 #include "core/ic_model.hpp"
 #include "core/metrics.hpp"
 #include "linalg/lsq.hpp"
-#include "linalg/nnls.hpp"
 #include "linalg/simplex.hpp"
 
 namespace ictm::core {
 
 namespace {
-
-// Solves min_{x>=0} x^T G x - 2 x^T rhs via NNLS on the Cholesky
-// factor of G (plus a tiny ridge for numerical safety).  The
-// unconstrained solution is tried first: when it is already
-// non-negative (the common case), the NNLS active-set loop is skipped.
-linalg::Vector SolveGramNnls(linalg::Matrix gram,
-                             const linalg::Vector& rhs) {
-  const std::size_t n = gram.rows();
-  double maxDiag = 0.0;
-  for (std::size_t i = 0; i < n; ++i)
-    maxDiag = std::max(maxDiag, gram(i, i));
-  const double ridge = std::max(maxDiag, 1.0) * 1e-12;
-  for (std::size_t i = 0; i < n; ++i) gram(i, i) += ridge;
-
-  const linalg::Matrix u = linalg::CholeskyUpper(gram);
-  const linalg::Vector b = linalg::ForwardSubstituteTranspose(u, rhs);
-
-  // Fast path: back-substitute U x = b and accept when feasible.
-  linalg::Vector x(n, 0.0);
-  for (std::size_t ii = n; ii-- > 0;) {
-    double acc = b[ii];
-    for (std::size_t j = ii + 1; j < n; ++j) acc -= u(ii, j) * x[j];
-    x[ii] = acc / u(ii, ii);
-  }
-  bool feasible = true;
-  for (double xi : x) {
-    if (xi < 0.0) {
-      feasible = false;
-      break;
-    }
-  }
-  if (feasible) return x;
-  return linalg::SolveNnls(u, b).x;
-}
 
 // A-step: given (f, P), each bin's activities solve an independent
 // NNLS problem x(t) ~ Phi * A(t).
@@ -61,7 +26,7 @@ void UpdateActivities(const traffic::TrafficMatrixSeries& series, double f,
     for (std::size_t i = 0; i < n; ++i)
       for (std::size_t j = 0; j < n; ++j) x[i * n + j] = series(t, i, j);
     const linalg::Vector rhs = linalg::TransposeTimes(phi, x);
-    const linalg::Vector a = SolveGramNnls(gram, rhs);
+    const linalg::Vector a = linalg::SolveGramNnls(gram, rhs);
     for (std::size_t i = 0; i < n; ++i) activitySeries(i, t) = a[i];
   }
 }
@@ -103,7 +68,7 @@ void UpdatePreference(const traffic::TrafficMatrixSeries& series, double f,
     }
   }
 
-  linalg::Vector p = SolveGramNnls(gram, rhs);
+  linalg::Vector p = linalg::SolveGramNnls(gram, rhs);
   const double sum = linalg::Sum(p);
   if (sum <= 0.0) return;  // keep the previous preference vector
   // Scale invariance: P -> P/sum, A -> A*sum leaves the model output

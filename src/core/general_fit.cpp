@@ -6,7 +6,6 @@
 #include "core/ic_model.hpp"
 #include "core/metrics.hpp"
 #include "linalg/lsq.hpp"
-#include "linalg/nnls.hpp"
 
 namespace ictm::core {
 
@@ -30,30 +29,6 @@ linalg::Matrix BuildGeneralActivityOperator(
     }
   }
   return phi;
-}
-
-// Non-negative solve of min ||U x - b|| from the Gram system (same
-// approach as the stable-fP fitter).
-linalg::Vector SolveGramNnls(linalg::Matrix gram,
-                             const linalg::Vector& rhs) {
-  const std::size_t n = gram.rows();
-  double maxDiag = 0.0;
-  for (std::size_t i = 0; i < n; ++i)
-    maxDiag = std::max(maxDiag, gram(i, i));
-  const double ridge = std::max(maxDiag, 1.0) * 1e-12;
-  for (std::size_t i = 0; i < n; ++i) gram(i, i) += ridge;
-  const linalg::Matrix u = linalg::CholeskyUpper(gram);
-  const linalg::Vector b = linalg::ForwardSubstituteTranspose(u, rhs);
-  linalg::Vector x(n, 0.0);
-  for (std::size_t ii = n; ii-- > 0;) {
-    double acc = b[ii];
-    for (std::size_t j = ii + 1; j < n; ++j) acc -= u(ii, j) * x[j];
-    x[ii] = acc / u(ii, ii);
-  }
-  for (double xi : x) {
-    if (xi < 0.0) return linalg::SolveNnls(u, b).x;
-  }
-  return x;
 }
 
 // F-step: per unordered pair, a 2-unknown least squares over time.
@@ -115,7 +90,7 @@ void UpdateActivitiesGeneral(const traffic::TrafficMatrixSeries& series,
     for (std::size_t i = 0; i < n; ++i)
       for (std::size_t j = 0; j < n; ++j) x[i * n + j] = series(t, i, j);
     const linalg::Vector rhs = linalg::TransposeTimes(phi, x);
-    const linalg::Vector a = SolveGramNnls(gram, rhs);
+    const linalg::Vector a = linalg::SolveGramNnls(gram, rhs);
     for (std::size_t i = 0; i < n; ++i) activitySeries(i, t) = a[i];
   }
 }

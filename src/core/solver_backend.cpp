@@ -1,0 +1,136 @@
+#include "core/solver_backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "linalg/lsq.hpp"
+#include "linalg/pcg.hpp"
+#include "linalg/sparse.hpp"
+#include "linalg/sparse_chol.hpp"
+
+namespace ictm::core {
+
+namespace {
+
+// The reference path: dense normal matrix + blocked in-place Cholesky,
+// exactly the floating-point sequence the estimator has always run —
+// `dense` results are bit-identical to the pre-backend code.
+class DenseBackend final : public SolverBackend {
+ public:
+  DenseBackend(const AugmentedTmSystem& system,
+               const EstimationOptions& options)
+      : system_(system), relativeRidge_(options.relativeRidge) {
+    const std::size_t rows = system.rowCount();
+    arena_.Reserve(rows * rows);
+    m_ = arena_.Take(rows * rows);
+  }
+
+  const char* name() const noexcept override { return "dense"; }
+
+  void SolveNormal(const double* weights, double* rhs) override {
+    const std::size_t rows = system_.rowCount();
+    linalg::WeightedGramInto(system_.matrix(), weights, m_);
+    double trace = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) trace += m_[r * rows + r];
+    const double ridge =
+        std::max(trace, 1.0) * relativeRidge_ +
+        1e-30;  // keep strictly positive even for an all-zero prior
+    for (std::size_t r = 0; r < rows; ++r) m_[r * rows + r] += ridge;
+    linalg::CholeskySolveInPlace(m_, rhs, rows);
+  }
+
+ private:
+  const AugmentedTmSystem& system_;
+  double relativeRidge_;
+  WorkspaceArena arena_;
+  double* m_;  // rows x rows: normal matrix, then its factor
+};
+
+// Sparse Cholesky against the system's shared symbolic analysis; only
+// the numeric buffers are per thread.
+class SparseBackend final : public SolverBackend {
+ public:
+  SparseBackend(const AugmentedTmSystem& system,
+                const EstimationOptions& options)
+      : analysis_(system.sparseAnalysis()),
+        relativeRidge_(options.relativeRidge) {
+    arena_.Reserve(linalg::SparseNormalSolver::RequiredScratch(analysis_));
+    solver_.emplace(analysis_, arena_.Take(
+        linalg::SparseNormalSolver::RequiredScratch(analysis_)));
+  }
+
+  const char* name() const noexcept override { return "sparse"; }
+
+  void SolveNormal(const double* weights, double* rhs) override {
+    solver_->Factor(weights, relativeRidge_);
+    solver_->Solve(rhs);
+  }
+
+ private:
+  const linalg::SparseNormalAnalysis& analysis_;
+  double relativeRidge_;
+  WorkspaceArena arena_;
+  std::optional<linalg::SparseNormalSolver> solver_;
+};
+
+// Matrix-free PCG straight off the system's compressed operator.
+class CgBackend final : public SolverBackend {
+ public:
+  CgBackend(const AugmentedTmSystem& system,
+            const EstimationOptions& options)
+      : system_(system), relativeRidge_(options.relativeRidge) {
+    arena_.Reserve(linalg::NormalPcg::RequiredScratch(system.matrix()));
+    solver_.emplace(system.matrix(), system.cgPreconditioner(),
+                    arena_.Take(linalg::NormalPcg::RequiredScratch(
+                        system.matrix())));
+  }
+
+  const char* name() const noexcept override { return "cg"; }
+
+  void SolveNormal(const double* weights, double* rhs) override {
+    const linalg::PcgResult result =
+        solver_->Solve(weights, relativeRidge_, rhs);
+    // The residual can floor out marginally above the tolerance along
+    // the redundant-marginal null direction (harmless — that
+    // component never reaches the estimate), but a residual this
+    // large means the range-space solve genuinely stalled; failing
+    // loudly beats silently degraded estimates, matching the direct
+    // backends' throw-on-numerical-failure behaviour.
+    ICTM_REQUIRE(result.converged || result.relativeResidual < 1e-6,
+                 "cg backend did not converge (relative residual " +
+                     std::to_string(result.relativeResidual) +
+                     "); retry with --solver dense or sparse");
+  }
+
+ private:
+  const AugmentedTmSystem& system_;
+  double relativeRidge_;
+  WorkspaceArena arena_;
+  std::optional<linalg::NormalPcg> solver_;
+};
+
+}  // namespace
+
+SolverKind ResolveSolverKind(SolverKind requested,
+                             std::size_t rows) noexcept {
+  if (requested != SolverKind::kAuto) return requested;
+  return rows >= kAutoSolverRowThreshold ? SolverKind::kCg
+                                         : SolverKind::kDense;
+}
+
+std::unique_ptr<SolverBackend> MakeSolverBackend(
+    const AugmentedTmSystem& system, const EstimationOptions& options) {
+  switch (ResolveSolverKind(options.solver, system.rowCount())) {
+    case SolverKind::kSparse:
+      return std::make_unique<SparseBackend>(system, options);
+    case SolverKind::kCg:
+      return std::make_unique<CgBackend>(system, options);
+    case SolverKind::kDense:
+    case SolverKind::kAuto:
+      break;
+  }
+  return std::make_unique<DenseBackend>(system, options);
+}
+
+}  // namespace ictm::core

@@ -1,7 +1,9 @@
 #include "linalg/lsq.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "linalg/nnls.hpp"
 #include "linalg/qr.hpp"
 #include "linalg/svd.hpp"
 
@@ -74,7 +76,7 @@ Matrix CholeskyUpper(const Matrix& a) {
   return u;
 }
 
-void CholeskySolveInPlace(double* m, double* d, std::size_t n) {
+void CholeskyFactorInPlace(double* m, std::size_t n) {
   // Factors the upper triangle in place (Uᵀ U = m) in right-looking
   // form: the inner update — row i minus a multiple of row k, both
   // contiguous — is a branch-free axpy the compiler vectorises,
@@ -122,10 +124,20 @@ void CholeskySolveInPlace(double* m, double* d, std::size_t n) {
       for (std::size_t j = i; j < n; ++j) ui[j] -= uki * uk[j];
     }
   }
-  for (std::size_t i = 0; i < n; ++i) {  // forward: Uᵀ y = d
-    double acc = d[i];
-    for (std::size_t j = 0; j < i; ++j) acc -= m[j * n + i] * d[j];
-    d[i] = acc / m[i * n + i];
+}
+
+void CholeskySubstituteInPlace(const double* m, double* d,
+                               std::size_t n) {
+  // Forward (Uᵀ y = d) in outer-product form: after y[j] is final,
+  // subtract its contribution from every later entry using row j of
+  // U — contiguous and vectorisable, unlike the column-strided
+  // dot-product form.  Each d[i] still accumulates its subtractions
+  // in ascending-j order, so the floating-point result is identical.
+  for (std::size_t j = 0; j < n; ++j) {
+    const double* __restrict uj = m + j * n;
+    const double yj = d[j] / uj[j];
+    d[j] = yj;
+    for (std::size_t i = j + 1; i < n; ++i) d[i] -= uj[i] * yj;
   }
   for (std::size_t i = n; i-- > 0;) {  // backward: U z = y
     const double* ui = m + i * n;
@@ -133,6 +145,37 @@ void CholeskySolveInPlace(double* m, double* d, std::size_t n) {
     for (std::size_t j = i + 1; j < n; ++j) acc -= ui[j] * d[j];
     d[i] = acc / ui[i];
   }
+}
+
+void CholeskySolveInPlace(double* m, double* d, std::size_t n) {
+  CholeskyFactorInPlace(m, n);
+  CholeskySubstituteInPlace(m, d, n);
+}
+
+Vector SolveGramNnls(Matrix gram, const Vector& rhs) {
+  ICTM_REQUIRE(gram.rows() == gram.cols(), "Gram matrix must be square");
+  ICTM_REQUIRE(rhs.size() == gram.rows(), "rhs length mismatch");
+  const std::size_t n = gram.rows();
+  double maxDiag = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    maxDiag = std::max(maxDiag, gram(i, i));
+  const double ridge = std::max(maxDiag, 1.0) * 1e-12;
+  for (std::size_t i = 0; i < n; ++i) gram(i, i) += ridge;
+
+  const Matrix u = CholeskyUpper(gram);
+  const Vector b = ForwardSubstituteTranspose(u, rhs);
+
+  // Fast path: back-substitute U x = b and accept when feasible.
+  Vector x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= u(ii, j) * x[j];
+    x[ii] = acc / u(ii, ii);
+  }
+  for (double xi : x) {
+    if (xi < 0.0) return SolveNnls(u, b).x;
+  }
+  return x;
 }
 
 Vector ForwardSubstituteTranspose(const Matrix& u, const Vector& b) {

@@ -31,12 +31,29 @@ Matrix CholeskyUpper(const Matrix& a);
 /// Solves U^T y = b by forward substitution for upper-triangular U.
 Vector ForwardSubstituteTranspose(const Matrix& u, const Vector& b);
 
+/// Solves min_{x>=0} x^T G x - 2 x^T rhs for a symmetric
+/// positive-semidefinite Gram matrix G (consumed by value; a tiny
+/// relative ridge is added for numerical safety) via NNLS on its
+/// Cholesky factor.  The unconstrained solution is tried first: when
+/// it is already non-negative (the common case), the NNLS active-set
+/// loop is skipped.  Shared by the stable-fP and general-IC fitters.
+Vector SolveGramNnls(Matrix gram, const Vector& rhs);
+
+/// Factors the upper triangle of a symmetric positive-definite
+/// row-major n x n buffer in place (Uᵀ U = m; rank-4 blocked, nothing
+/// below the diagonal is read or written).  Throws when `m` is not
+/// numerically positive definite.
+void CholeskyFactorInPlace(double* m, std::size_t n);
+
+/// Substitution against a factor produced by CholeskyFactorInPlace:
+/// overwrites `d` with the solution of (Uᵀ U) z = d.
+void CholeskySubstituteInPlace(const double* m, double* d, std::size_t n);
+
 /// Solves m z = d for symmetric positive-definite `m` given as a
-/// row-major n x n buffer: factors the upper triangle in place
-/// (rank-4 blocked, nothing below the diagonal is read or written)
-/// and overwrites `d` with the solution.  This is the allocation-free
-/// hot-path variant of CholeskyUpper + substitution, used per bin by
-/// the TM estimation fan-out.
+/// row-major n x n buffer: CholeskyFactorInPlace followed by
+/// CholeskySubstituteInPlace.  This is the allocation-free hot-path
+/// variant of CholeskyUpper + substitution, used per bin by the TM
+/// estimation fan-out.
 void CholeskySolveInPlace(double* m, double* d, std::size_t n);
 
 }  // namespace ictm::linalg

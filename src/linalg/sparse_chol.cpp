@@ -1,0 +1,323 @@
+#include "linalg/sparse_chol.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ictm::linalg {
+
+namespace {
+
+// Merges `extra` (sorted, alive-only) into sorted `dst`, dropping
+// `skip`, in place via a scratch buffer.
+void MergeInto(std::vector<std::uint32_t>& dst,
+               const std::vector<std::uint32_t>& extra, std::uint32_t skipA,
+               std::uint32_t skipB, std::vector<std::uint32_t>& scratch) {
+  scratch.clear();
+  scratch.reserve(dst.size() + extra.size());
+  std::size_t i = 0, j = 0;
+  while (i < dst.size() || j < extra.size()) {
+    std::uint32_t v;
+    if (j >= extra.size() || (i < dst.size() && dst[i] <= extra[j])) {
+      v = dst[i];
+      if (j < extra.size() && extra[j] == v) ++j;  // duplicate
+      ++i;
+    } else {
+      v = extra[j++];
+    }
+    if (v != skipA && v != skipB) scratch.push_back(v);
+  }
+  dst.swap(scratch);
+}
+
+}  // namespace
+
+SparseNormalAnalysis::SparseNormalAnalysis(const CscMatrix& a)
+    : m_(a.rows()) {
+  ICTM_REQUIRE(m_ < std::numeric_limits<std::uint32_t>::max(),
+               "normal operator too large for the sparse analysis");
+  const auto& colPtr = a.colPtr();
+  const auto& rowIdx = a.rowIdx();
+  const std::size_t cols = a.cols();
+
+  // ---- initial adjacency of the M graph (union of per-column cliques)
+  std::vector<std::vector<std::uint32_t>> adj(m_);
+  {
+    // Two passes: count then fill, then sort/unique per vertex.
+    std::vector<std::size_t> count(m_, 0);
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t k = colPtr[c + 1] - colPtr[c];
+      if (k < 2) continue;
+      for (std::size_t p = colPtr[c]; p < colPtr[c + 1]; ++p) {
+        count[rowIdx[p]] += k - 1;
+      }
+    }
+    for (std::size_t v = 0; v < m_; ++v) adj[v].reserve(count[v]);
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t lo = colPtr[c], hi = colPtr[c + 1];
+      if (hi - lo < 2) continue;
+      for (std::size_t p1 = lo; p1 < hi; ++p1) {
+        const std::uint32_t r1 = static_cast<std::uint32_t>(rowIdx[p1]);
+        for (std::size_t p2 = lo; p2 < hi; ++p2) {
+          if (p2 == p1) continue;
+          adj[r1].push_back(static_cast<std::uint32_t>(rowIdx[p2]));
+        }
+      }
+    }
+    for (std::size_t v = 0; v < m_; ++v) {
+      std::sort(adj[v].begin(), adj[v].end());
+      adj[v].erase(std::unique(adj[v].begin(), adj[v].end()),
+                   adj[v].end());
+    }
+  }
+
+  // ---- greedy minimum-degree ordering with symbolic capture --------
+  // Eliminating v turns its neighbourhood into a clique; that
+  // neighbourhood is exactly the below-diagonal pattern of v's factor
+  // column, so ordering and symbolic factorization are one pass.  The
+  // moment every remaining vertex has full degree the residual graph
+  // is a clique (the marginal rows always end this way) and the tail
+  // is ordered densely without further graph updates.
+  iperm_.assign(m_, 0);
+  perm_.assign(m_, 0);
+  std::vector<std::vector<std::uint32_t>> colPattern(m_);
+  std::vector<bool> eliminated(m_, false);
+  std::vector<std::uint32_t> scratch;
+  std::size_t alive = m_;
+  std::size_t pos = 0;
+  while (alive > 0) {
+    std::uint32_t best = 0;
+    std::size_t bestDeg = std::numeric_limits<std::size_t>::max();
+    for (std::uint32_t v = 0; v < m_; ++v) {
+      if (!eliminated[v] && adj[v].size() < bestDeg) {
+        bestDeg = adj[v].size();
+        best = v;
+      }
+    }
+    if (bestDeg + 1 == alive) {
+      // Residual clique: order the tail by original index.  Each tail
+      // column's pattern is the set of later tail vertices.
+      std::vector<std::uint32_t> tail;
+      tail.reserve(alive);
+      for (std::uint32_t v = 0; v < m_; ++v) {
+        if (!eliminated[v]) tail.push_back(v);
+      }
+      for (std::size_t t = 0; t < tail.size(); ++t) {
+        const std::uint32_t v = tail[t];
+        eliminated[v] = true;
+        iperm_[pos] = v;
+        perm_[v] = static_cast<std::uint32_t>(pos);
+        ++pos;
+        colPattern[v].assign(tail.begin() + t + 1, tail.end());
+      }
+      break;
+    }
+
+    const std::uint32_t v = best;
+    eliminated[v] = true;
+    iperm_[pos] = v;
+    perm_[v] = static_cast<std::uint32_t>(pos);
+    ++pos;
+    --alive;
+    std::vector<std::uint32_t> nbrs = std::move(adj[v]);
+    adj[v].clear();
+    for (const std::uint32_t u : nbrs) {
+      MergeInto(adj[u], nbrs, u, v, scratch);
+    }
+    colPattern[v] = std::move(nbrs);
+  }
+
+  // ---- factor pattern in permuted coordinates ----------------------
+  lp_.assign(m_ + 1, 0);
+  std::size_t lnnz = 0;
+  for (std::size_t j = 0; j < m_; ++j) lnnz += colPattern[iperm_[j]].size();
+  li_.reserve(lnnz);
+  for (std::size_t j = 0; j < m_; ++j) {
+    std::vector<std::uint32_t>& pat = colPattern[iperm_[j]];
+    for (std::uint32_t& r : pat) r = perm_[r];
+    std::sort(pat.begin(), pat.end());
+    li_.insert(li_.end(), pat.begin(), pat.end());
+    lp_[j + 1] = static_cast<std::uint32_t>(li_.size());
+    pat.clear();
+    pat.shrink_to_fit();
+  }
+
+  // Transpose row lists: for each row i, the (column, offset) pairs of
+  // L entries in that row, ascending in column (the natural order of a
+  // column sweep).
+  up_.assign(m_ + 1, 0);
+  for (const std::uint32_t i : li_) ++up_[i + 1];
+  for (std::size_t i = 0; i < m_; ++i) up_[i + 1] += up_[i];
+  ucol_.assign(li_.size(), 0);
+  uoff_.assign(li_.size(), 0);
+  {
+    std::vector<std::uint32_t> next(up_.begin(), up_.end() - 1);
+    for (std::size_t j = 0; j < m_; ++j) {
+      for (std::uint32_t k = lp_[j]; k < lp_[j + 1]; ++k) {
+        const std::uint32_t slot = next[li_[k]]++;
+        ucol_[slot] = static_cast<std::uint32_t>(j);
+        uoff_[slot] = k;
+      }
+    }
+  }
+
+  // ---- lower(M) pattern + assembly scatter map ---------------------
+  // Every (r1, r2) pair sharing an A-column lands in permuted
+  // coordinates at column min(p1,p2), row max(p1,p2); the diagonal is
+  // forced present so the ridge always has a slot.
+  std::vector<std::uint64_t> positions;
+  positions.reserve(m_ + 16 * cols);
+  for (std::size_t j = 0; j < m_; ++j) {
+    positions.push_back((static_cast<std::uint64_t>(j) << 32) | j);
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    const std::size_t lo = colPtr[c], hi = colPtr[c + 1];
+    for (std::size_t p1 = lo; p1 < hi; ++p1) {
+      const std::uint32_t a1 = perm_[rowIdx[p1]];
+      for (std::size_t p2 = p1; p2 < hi; ++p2) {
+        const std::uint32_t a2 = perm_[rowIdx[p2]];
+        const std::uint32_t cj = std::min(a1, a2);
+        const std::uint32_t ri = std::max(a1, a2);
+        positions.push_back((static_cast<std::uint64_t>(cj) << 32) | ri);
+      }
+    }
+  }
+  std::sort(positions.begin(), positions.end());
+  positions.erase(std::unique(positions.begin(), positions.end()),
+                  positions.end());
+
+  mp_.assign(m_ + 1, 0);
+  mi_.resize(positions.size());
+  for (std::size_t k = 0; k < positions.size(); ++k) {
+    mi_[k] = static_cast<std::uint32_t>(positions[k] & 0xffffffffu);
+    ++mp_[(positions[k] >> 32) + 1];
+  }
+  for (std::size_t j = 0; j < m_; ++j) mp_[j + 1] += mp_[j];
+  diagSlot_.assign(m_, 0);
+  for (std::size_t j = 0; j < m_; ++j) {
+    // Diagonal is the smallest row index in a lower-triangular column.
+    diagSlot_[j] = mp_[j];
+  }
+
+  auto slotOf = [&](std::uint32_t cj, std::uint32_t ri) {
+    const auto first = mi_.begin() + mp_[cj];
+    const auto last = mi_.begin() + mp_[cj + 1];
+    const auto it = std::lower_bound(first, last, ri);
+    return static_cast<std::uint32_t>(it - mi_.begin());
+  };
+
+  colPairPtr_.assign(cols + 1, 0);
+  const auto& values = a.values();
+  std::size_t totalPairs = 0;
+  for (std::size_t c = 0; c < cols; ++c) {
+    const std::size_t k = colPtr[c + 1] - colPtr[c];
+    totalPairs += k * (k + 1) / 2;
+    colPairPtr_[c + 1] = totalPairs;
+  }
+  pairSlot_.resize(totalPairs);
+  pairProd_.resize(totalPairs);
+  std::size_t out = 0;
+  for (std::size_t c = 0; c < cols; ++c) {
+    const std::size_t lo = colPtr[c], hi = colPtr[c + 1];
+    for (std::size_t p1 = lo; p1 < hi; ++p1) {
+      const std::uint32_t a1 = perm_[rowIdx[p1]];
+      for (std::size_t p2 = p1; p2 < hi; ++p2) {
+        const std::uint32_t a2 = perm_[rowIdx[p2]];
+        pairSlot_[out] = slotOf(std::min(a1, a2), std::max(a1, a2));
+        pairProd_[out] = values[p1] * values[p2];
+        ++out;
+      }
+    }
+  }
+}
+
+SparseNormalSolver::SparseNormalSolver(const SparseNormalAnalysis& analysis,
+                                       double* scratch)
+    : a_(analysis) {
+  mvals_ = scratch;
+  lv_ = mvals_ + analysis.normalNonZeros();
+  ld_ = lv_ + analysis.factorNonZeros();
+  work_ = ld_ + analysis.dim();
+  rhs_ = work_ + analysis.dim();
+  std::fill(work_, work_ + analysis.dim(), 0.0);  // kept zero between bins
+}
+
+void SparseNormalSolver::Factor(const double* weights,
+                                double relativeRidge) {
+  const std::size_t m = a_.m_;
+  const std::size_t cols = a_.colPairPtr_.size() - 1;
+
+  // Assemble lower(M); one weight load per A-column clique.
+  std::fill(mvals_, mvals_ + a_.normalNonZeros(), 0.0);
+  for (std::size_t c = 0; c < cols; ++c) {
+    const double wc = weights[c];
+    if (wc <= 0.0) continue;
+    const std::size_t lo = a_.colPairPtr_[c], hi = a_.colPairPtr_[c + 1];
+    for (std::size_t k = lo; k < hi; ++k) {
+      mvals_[a_.pairSlot_[k]] += wc * a_.pairProd_[k];
+    }
+  }
+
+  // Ridge, scaled by the trace exactly like the dense backend.
+  double trace = 0.0;
+  for (std::size_t j = 0; j < m; ++j) trace += mvals_[a_.diagSlot_[j]];
+  const double ridge = std::max(trace, 1.0) * relativeRidge + 1e-30;
+  for (std::size_t j = 0; j < m; ++j) mvals_[a_.diagSlot_[j]] += ridge;
+
+  // Left-looking numeric factorization over the static pattern.  The
+  // dense accumulator `work_` is kept all-zero between columns.
+  double* x = work_;
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::uint32_t k = a_.mp_[j]; k < a_.mp_[j + 1]; ++k) {
+      x[a_.mi_[k]] = mvals_[k];
+    }
+    double xdiag = x[j];
+    for (std::uint32_t idx = a_.up_[j]; idx < a_.up_[j + 1]; ++idx) {
+      const std::uint32_t k = a_.ucol_[idx];
+      const std::uint32_t off = a_.uoff_[idx];
+      const double ljk = lv_[off];
+      xdiag -= ljk * ljk;
+      for (std::uint32_t t = off + 1; t < a_.lp_[k + 1]; ++t) {
+        x[a_.li_[t]] -= ljk * lv_[t];
+      }
+    }
+    ICTM_REQUIRE(xdiag > 0.0,
+                 "matrix is not positive definite in Cholesky");
+    const double diag = std::sqrt(xdiag);
+    ld_[j] = diag;
+    const double inv = 1.0 / diag;
+    for (std::uint32_t k = a_.lp_[j]; k < a_.lp_[j + 1]; ++k) {
+      lv_[k] = x[a_.li_[k]] * inv;
+      x[a_.li_[k]] = 0.0;
+    }
+    x[j] = 0.0;
+  }
+}
+
+void SparseNormalSolver::Solve(double* d) const {
+  const std::size_t m = a_.m_;
+  double* y = rhs_;
+  for (std::size_t j = 0; j < m; ++j) y[j] = d[a_.iperm_[j]];
+  // Forward: L y = b.
+  for (std::size_t j = 0; j < m; ++j) {
+    const double t = y[j] / ld_[j];
+    y[j] = t;
+    for (std::uint32_t k = a_.lp_[j]; k < a_.lp_[j + 1]; ++k) {
+      y[a_.li_[k]] -= lv_[k] * t;
+    }
+  }
+  // Backward: Lᵀ z = y.
+  for (std::size_t j = m; j-- > 0;) {
+    double acc = y[j];
+    for (std::uint32_t k = a_.lp_[j]; k < a_.lp_[j + 1]; ++k) {
+      acc -= lv_[k] * y[a_.li_[k]];
+    }
+    y[j] = acc / ld_[j];
+  }
+  for (std::size_t j = 0; j < m; ++j) d[a_.iperm_[j]] = y[j];
+}
+
+}  // namespace ictm::linalg

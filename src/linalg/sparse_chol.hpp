@@ -1,0 +1,119 @@
+// Sparse Cholesky factorization of the weighted normal operator
+// M = A·diag(w)·Aᵀ for a fixed sparse A whose weights change per solve.
+//
+// The TM-estimation hot loop factors the same *pattern* thousands of
+// times — once per time bin — with only the prior weights w varying.
+// The expensive, weight-independent work is therefore hoisted into an
+// immutable SparseNormalAnalysis computed once per augmented system:
+//
+//   1. the nonzero pattern of M (each column c of A couples its rows
+//      pairwise — a clique per OD pair),
+//   2. a fill-reducing ordering (greedy minimum degree with a
+//      dense-tail cutoff: once the uneliminated vertices form a
+//      clique — which the 2n marginal rows always do eventually — the
+//      remainder is ordered as a dense trailing block),
+//   3. the symbolic factor L (column patterns recorded during the
+//      elimination simulation, plus the transpose row lists the
+//      numeric left-looking sweep consumes),
+//   4. an assembly scatter map: for every pair of rows sharing an
+//      A-column, the destination slot in the packed values of
+//      lower(M) and the weight-independent product v₁·v₂, grouped by
+//      A-column so one weight load covers the whole clique.
+//
+// Any number of SparseNormalSolver instances (one per worker thread)
+// then assemble, factor and solve against the shared analysis with
+// zero allocations per bin.  Every step is a fixed sequence of
+// floating-point operations, so results are bit-identical regardless
+// of which thread runs them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/sparse.hpp"
+
+namespace ictm::linalg {
+
+/// Weight-independent analysis of M = A·diag(w)·Aᵀ: pattern,
+/// fill-reducing ordering, symbolic factor and assembly scatter map.
+/// Immutable after construction and safe to share across threads.
+class SparseNormalAnalysis {
+ public:
+  /// Analyses the operator for the given A (CSC, rows x cols).
+  explicit SparseNormalAnalysis(const CscMatrix& a);
+
+  /// Dimension m of M (= a.rows()).
+  std::size_t dim() const noexcept { return m_; }
+  /// Stored nonzeros of lower(M) in the permuted layout.
+  std::size_t normalNonZeros() const noexcept { return mi_.size(); }
+  /// Nonzeros of the factor L strictly below the diagonal.
+  std::size_t factorNonZeros() const noexcept { return li_.size(); }
+
+ private:
+  friend class SparseNormalSolver;
+
+  std::size_t m_ = 0;
+
+  // Fill-reducing permutation: perm_[original] = elimination position,
+  // iperm_[position] = original index.
+  std::vector<std::uint32_t> perm_, iperm_;
+
+  // lower(M) pattern in permuted coordinates, CSC: column j holds rows
+  // >= j (diagonal first).  diagSlot_[j] indexes M-values storage.
+  std::vector<std::uint32_t> mp_, mi_, diagSlot_;
+
+  // Symbolic factor, CSC, strictly-below-diagonal rows sorted
+  // ascending per column.
+  std::vector<std::uint32_t> lp_, li_;
+  // Transpose row lists for the left-looking sweep: for row j, the
+  // (column k, offset into li_/L-values) pairs with L[j,k] != 0,
+  // ascending in k.
+  std::vector<std::uint32_t> up_, ucol_, uoff_;
+
+  // Assembly scatter map grouped by A-column: pairs
+  // [colPairPtr_[c], colPairPtr_[c+1]) scatter w_c * pairProd_ into
+  // M-values slot pairSlot_.
+  std::vector<std::size_t> colPairPtr_;
+  std::vector<std::uint32_t> pairSlot_;
+  std::vector<double> pairProd_;
+};
+
+/// Per-thread numeric workspace bound to a shared analysis: assembles
+/// the weighted normal matrix, factors it and solves, reusing the same
+/// caller-provided scratch (e.g. a workspace-arena slice) for every
+/// bin — no allocations after construction.
+class SparseNormalSolver {
+ public:
+  /// Doubles of scratch a solver for `analysis` needs.
+  static std::size_t RequiredScratch(const SparseNormalAnalysis& analysis) {
+    return analysis.normalNonZeros() + analysis.factorNonZeros() +
+           3 * analysis.dim();
+  }
+
+  /// Binds to `analysis` and carves its buffers out of `scratch`
+  /// (RequiredScratch(analysis) doubles); both must outlive the
+  /// solver.
+  SparseNormalSolver(const SparseNormalAnalysis& analysis,
+                     double* scratch);
+
+  /// Assembles M = A·diag(w)·Aᵀ (skipping columns with w <= 0, like
+  /// WeightedGramInto), adds ridge = max(trace(M), 1)·relativeRidge +
+  /// 1e-30 to the diagonal, and factors.  Throws when the ridged
+  /// matrix is not numerically positive definite.
+  void Factor(const double* weights, double relativeRidge);
+
+  /// Solves M z = d using the last Factor(), overwriting `d` (dim()
+  /// elements) with z.
+  void Solve(double* d) const;
+
+ private:
+  const SparseNormalAnalysis& a_;
+  double* mvals_;  // packed lower(M) values
+  double* ld_;     // diagonal of L
+  double* lv_;     // strictly-lower values of L
+  double* work_;   // factor accumulator (kept all-zero between bins)
+  double* rhs_;    // permuted right-hand side of Solve
+};
+
+}  // namespace ictm::linalg

@@ -11,6 +11,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "core/estimation.hpp"
 #include "scenario/builtin.hpp"
 
 namespace ictm::scenario {
@@ -151,6 +152,7 @@ void WriteResultFiles(const std::vector<ScenarioResult>& results,
   manifest.set("scale", ctx.tiny ? "tiny" : "full");
   manifest.set("topology",
                ctx.topology.empty() ? "default" : ctx.topology);
+  manifest.set("solver", ctx.solver.empty() ? "auto" : ctx.solver);
   manifest.set("scenarios", json::Value(std::move(names)));
   const fs::path path = fs::path(outDir) / "manifest.json";
   std::ofstream os(path);
@@ -171,10 +173,19 @@ int RunScenarioMain(const std::string& name, int argc, char** argv) {
       ctx.seedOffset = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--topology") == 0 && i + 1 < argc) {
       ctx.topology = argv[++i];
+    } else if (std::strcmp(argv[i], "--solver") == 0 && i + 1 < argc) {
+      core::SolverKind kind;
+      if (!core::ParseSolverKind(argv[i + 1], &kind)) {
+        std::fprintf(stderr,
+                     "unknown solver: %s (expected dense|sparse|cg|auto)\n",
+                     argv[i + 1]);
+        return 2;
+      }
+      ctx.solver = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--tiny] [--threads N] [--seed S] "
-                   "[--topology SPEC]\n",
+                   "[--topology SPEC] [--solver dense|sparse|cg|auto]\n",
                    argv[0]);
       return 2;
     }

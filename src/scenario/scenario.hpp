@@ -46,6 +46,12 @@ struct ScenarioContext {
   /// topology.  Like the seed offset this is configuration: result
   /// documents depend on it, thread counts never.
   std::string topology;
+  /// Solver backend for the estimation kernels: "auto" (default when
+  /// empty), "dense", "sparse" or "cg" — see core/solver_backend.hpp.
+  /// Configuration like the seed offset (backends differ in low-order
+  /// floating-point bits); the resolved backend is reported through
+  /// the notes channel, never inside result documents.
+  std::string solver;
 
   /// The effective seed for a canonical per-scenario seed constant.
   std::uint64_t seed(std::uint64_t canonicalSeed) const {

@@ -68,6 +68,11 @@ json::Value RunEstimationScale(const ScenarioContext& ctx,
       core::GravityPredictSeries(truth);
 
   core::EstimationOptions options;
+  options.solver = ContextSolverKind(ctx);
+  notes += SolverNote(options.solver,
+                      core::AugmentedRowCount(
+                          routing.rows(), n,
+                          options.useMarginalConstraints));
   options.threads = kBaselineThreads;
   auto t0 = std::chrono::steady_clock::now();
   const auto est1 = core::EstimateSeries(routing, truth, priors, options);

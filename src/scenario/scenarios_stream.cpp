@@ -60,6 +60,11 @@ json::Value RunStreamEquivalence(const ScenarioContext& ctx,
   base.f = 0.25;
   base.window = window;
   base.threads = 1;
+  base.estimation.solver = ContextSolverKind(ctx);
+  notes += SolverNote(base.estimation.solver,
+                      core::AugmentedRowCount(
+                          setup.routing.rows(), n,
+                          base.estimation.useMarginalConstraints));
   const auto t0 = std::chrono::steady_clock::now();
   const stream::StreamingRunResult serial =
       stream::EstimateSeriesStreaming(setup.routing, setup.truth, base);
@@ -88,6 +93,7 @@ json::Value RunStreamEquivalence(const ScenarioContext& ctx,
   // per-bin solver, different orchestration.
   core::EstimationOptions batchOpts;
   batchOpts.threads = 2;
+  batchOpts.solver = ContextSolverKind(ctx);
   const auto t1 = std::chrono::steady_clock::now();
   const auto batch = core::EstimateSeries(setup.routing, setup.truth,
                                           serial.priors, batchOpts);
@@ -133,6 +139,7 @@ json::Value RunStreamScale(const ScenarioContext& ctx,
   stream::StreamingOptions opts;
   opts.f = 0.25;
   opts.window = window;
+  opts.estimation.solver = ContextSolverKind(ctx);
   traffic::TrafficMatrixSeries first(setup.truth.nodeCount(), bins,
                                      300.0);
   bool identical = true;

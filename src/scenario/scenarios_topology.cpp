@@ -36,6 +36,7 @@ std::vector<TopoSweepEntry> BuildSweep(const ScenarioContext& ctx) {
 
 json::Value RunTopoScale(const ScenarioContext& ctx, std::string& notes) {
   const std::vector<TopoSweepEntry> sweep = BuildSweep(ctx);
+  const core::SolverKind solver = ContextSolverKind(ctx);
 
   bool allIdentical = true;
   bool allFinite = true;
@@ -45,7 +46,11 @@ json::Value RunTopoScale(const ScenarioContext& ctx, std::string& notes) {
     const TopoSweepRun run = RunTopoSweepEntry(
         entry, ctx.seed(kTopologySeed),
         ctx.seed(kTrafficSeed) + idx * 1000003, kBaselineThreads,
-        kFanoutThreads);
+        kFanoutThreads, solver);
+    notes += entry.spec + ": " +
+             SolverNote(solver,
+                        core::AugmentedRowCount(run.routingRows,
+                                                run.nodes, true));
     allIdentical = allIdentical && run.bitIdentical;
     allFinite = allFinite && AllFinite(run.errEst);
 

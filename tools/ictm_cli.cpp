@@ -30,6 +30,7 @@
 // topology/registry.hpp (canned names, generator specs, .ictp files).
 // docs/CLI.md is the full reference.
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
@@ -50,6 +51,7 @@
 #include "conngen/fmeasure.hpp"
 #include "conngen/packet_trace.hpp"
 #include "core/estimation.hpp"
+#include "core/solver_backend.hpp"
 #include "core/fit.hpp"
 #include "core/gravity.hpp"
 #include "core/metrics.hpp"
@@ -68,6 +70,15 @@ using namespace ictm;
 
 namespace {
 
+// Bad option values (non-numeric --threads, unknown --solver, ...)
+// are usage errors: exit 2 with a one-line hint, distinct from the
+// runtime-error exit 1.
+class UsageError : public std::runtime_error {
+ public:
+  explicit UsageError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -77,6 +88,7 @@ int Usage() {
                "              title, expectation) for tooling\n"
                "  ictm run <scenario...|all> [--threads N] [--out DIR]\n"
                "           [--seed S] [--tiny] [--topology SPEC]\n"
+               "           [--solver dense|sparse|cg|auto]\n"
                "      run scenarios; deterministic JSON per scenario\n"
                "      (bit-identical for every --threads value) goes to\n"
                "      DIR/<scenario>.json plus DIR/manifest.json, or to\n"
@@ -88,12 +100,16 @@ int Usage() {
                "      --topology SPEC substitute topology for the\n"
                "                      topology-aware scenarios (name,\n"
                "                      generator spec or .ictp file)\n"
+               "      --solver K      normal-equations backend for the\n"
+               "                      estimation scenarios (auto picks\n"
+               "                      by problem size; default)\n"
                "  ictm synthesize <out.csv> [nodes] [bins] [f] [seed]\n"
                "  ictm fit <tm.csv>\n"
                "  ictm gravity <tm.csv>\n"
                "  ictm prior <tm.csv> <f>\n"
                "  ictm fmeasure [durationSec] [connPerSec] [seed]\n"
                "  ictm estimate <tm.csv> [topology] [threads] [seed]\n"
+               "           [--solver dense|sparse|cg|auto]\n"
                "      topology: auto (default) picks a canned topology\n"
                "                by node count; otherwise any registry\n"
                "                spec (geant22, hierarchy:100, ...) or\n"
@@ -103,9 +119,12 @@ int Usage() {
                "      seed:     generator seed for seeded topology\n"
                "                specs (default 0; must match the seed\n"
                "                the topology was generated with)\n"
+               "      --solver  normal-equations backend (auto picks\n"
+               "                by problem size; default)\n"
                "  ictm stream <trace.ictmb|tm.csv> [--topology T]\n"
                "           [--seed S] [--threads N] [--window W]\n"
                "           [--queue C] [--f F] [--out DIR]\n"
+               "           [--solver dense|sparse|cg|auto]\n"
                "      online estimation through the streaming subsystem\n"
                "      (bounded queue + worker pool + reorder buffer);\n"
                "      input format is sniffed, not taken from the\n"
@@ -122,6 +141,8 @@ int Usage() {
                "                    (yesterday's fit; default 0.25)\n"
                "      --out DIR     write DIR/estimates.ictmb and\n"
                "                    DIR/priors.ictmb\n"
+               "      --solver K    normal-equations backend (auto\n"
+               "                    picks by problem size; default)\n"
                "  ictm convert <in> <out> [--chunk K]\n"
                "      convert TM CSV -> ictmb binary trace or back\n"
                "      (direction auto-detected from the input magic);\n"
@@ -142,6 +163,45 @@ int Usage() {
                "check; 2 usage error\n"
                "full reference: docs/CLI.md\n");
   return 2;
+}
+
+std::size_t ParseSize(const char* arg, const char* what, long min,
+                      long max) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(arg, &end, 10);
+  if (end == arg || *end != '\0' || errno == ERANGE || v < min ||
+      v > max) {
+    throw UsageError(std::string(what) + " must be an integer in [" +
+                     std::to_string(min) + ", " + std::to_string(max) +
+                     "], got: " + arg);
+  }
+  return static_cast<std::size_t>(v);
+}
+
+std::size_t ParseThreads(const char* arg) {
+  return ParseSize(arg, "threads", 0, 4096);
+}
+
+double ParseDouble(const char* arg, const char* what) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(arg, &end);
+  if (end == arg || *end != '\0' || errno == ERANGE ||
+      !std::isfinite(v)) {
+    throw UsageError(std::string(what) +
+                     " must be a finite number, got: " + arg);
+  }
+  return v;
+}
+
+core::SolverKind ParseSolver(const char* arg) {
+  core::SolverKind kind;
+  if (!core::ParseSolverKind(arg, &kind)) {
+    throw UsageError(std::string("unknown solver: ") + arg +
+                     " (expected dense|sparse|cg|auto)");
+  }
+  return kind;
 }
 
 int CmdList(int argc, char** argv) {
@@ -195,11 +255,15 @@ int CmdRun(int argc, char** argv) {
     if (arg == "--tiny") {
       ctx.tiny = true;
     } else if (arg == "--threads" && i + 1 < argc) {
-      ctx.threads = static_cast<std::size_t>(std::atoll(argv[++i]));
+      ctx.threads = ParseThreads(argv[++i]);
     } else if (arg == "--seed" && i + 1 < argc) {
-      ctx.seedOffset = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      ctx.seedOffset = static_cast<std::uint64_t>(ParseSize(
+          argv[++i], "seed", 0, std::numeric_limits<long>::max()));
     } else if (arg == "--topology" && i + 1 < argc) {
       ctx.topology = argv[++i];
+    } else if (arg == "--solver" && i + 1 < argc) {
+      ParseSolver(argv[i + 1]);  // validate before any scenario runs
+      ctx.solver = argv[++i];
     } else if (arg == "--out" && i + 1 < argc) {
       outDir = argv[++i];
     } else if (arg == "all") {
@@ -365,45 +429,51 @@ topology::Graph TopologyByName(const std::string& name, std::size_t nodes,
   return topology::MakeRing(nodes, 2);
 }
 
-std::size_t ParseSize(const char* arg, const char* what, long min,
-                      long max) {
-  char* end = nullptr;
-  errno = 0;
-  const long v = std::strtol(arg, &end, 10);
-  ICTM_REQUIRE(end != arg && *end == '\0' && errno != ERANGE && v >= min &&
-                   v <= max,
-               std::string(what) + " must be an integer in [" +
-                   std::to_string(min) + ", " + std::to_string(max) +
-                   "], got: " + arg);
-  return static_cast<std::size_t>(v);
-}
-
-std::size_t ParseThreads(const char* arg) {
-  return ParseSize(arg, "threads", 0, 4096);
-}
-
 int CmdEstimate(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  const auto truth = traffic::ReadCsvFile(argv[2]);
-  const std::string topoName = argc > 3 ? argv[3] : "auto";
+  core::EstimationOptions options;
+  std::vector<std::string> positional;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--solver" && i + 1 < argc) {
+      options.solver = ParseSolver(argv[++i]);
+    } else if (!arg.empty() && arg[0] == '-' && arg.size() > 1 &&
+               !std::isdigit(static_cast<unsigned char>(arg[1]))) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.empty()) return Usage();
+
+  const auto truth = traffic::ReadCsvFile(positional[0]);
+  const std::string topoName =
+      positional.size() > 1 ? positional[1] : "auto";
   const std::uint64_t topoSeed =
-      argc > 5 ? static_cast<std::uint64_t>(ParseSize(
-                     argv[5], "seed", 0, std::numeric_limits<long>::max()))
-               : 0;
+      positional.size() > 3
+          ? static_cast<std::uint64_t>(
+                ParseSize(positional[3].c_str(), "seed", 0,
+                          std::numeric_limits<long>::max()))
+          : 0;
   const topology::Graph g =
       TopologyByName(topoName, truth.nodeCount(), topoSeed);
   ICTM_REQUIRE(g.nodeCount() == truth.nodeCount(),
                "topology node count does not match the TM series");
   const linalg::CsrMatrix routing = topology::BuildRoutingCsr(g);
 
-  core::EstimationOptions options;
-  options.threads = argc > 4 ? ParseThreads(argv[4]) : 0;
+  options.threads =
+      positional.size() > 2 ? ParseThreads(positional[2].c_str()) : 0;
   const std::size_t workers = std::min(
       ictm::ResolveThreadCount(options.threads), truth.binCount());
   std::printf("loaded %zu nodes x %zu bins; topology %s (%zu links), "
-              "%zu threads\n",
+              "%zu threads, solver %s\n",
               truth.nodeCount(), truth.binCount(), topoName.c_str(),
-              g.linkCount(), workers);
+              g.linkCount(), workers,
+              core::SolverKindName(core::ResolveSolverKind(
+                  options.solver,
+                  core::AugmentedRowCount(routing.rows(),
+                                          truth.nodeCount(),
+                                          options.useMarginalConstraints))));
 
   const auto priors = core::GravityPredictSeries(truth);
   const auto start = std::chrono::steady_clock::now();
@@ -448,7 +518,9 @@ int CmdStream(int argc, char** argv) {
     } else if (arg == "--queue" && i + 1 < argc) {
       options.queueCapacity = ParseSize(argv[++i], "queue", 1, 1 << 20);
     } else if (arg == "--f" && i + 1 < argc) {
-      options.f = std::stod(argv[++i]);
+      options.f = ParseDouble(argv[++i], "f");
+    } else if (arg == "--solver" && i + 1 < argc) {
+      options.estimation.solver = ParseSolver(argv[++i]);
     } else if (arg == "--out" && i + 1 < argc) {
       outDir = argv[++i];
     } else {
@@ -482,9 +554,14 @@ int CmdStream(int argc, char** argv) {
 
   const std::size_t workers = ictm::ResolveThreadCount(options.threads);
   std::printf("streaming %zu bins x %zu nodes; topology %s (%zu links), "
-              "%zu worker(s), window %zu, queue %zu\n",
+              "%zu worker(s), window %zu, queue %zu, solver %s\n",
               bins, nodes, topoName.c_str(), g.linkCount(), workers,
-              options.window, options.queueCapacity);
+              options.window, options.queueCapacity,
+              core::SolverKindName(core::ResolveSolverKind(
+                  options.estimation.solver,
+                  core::AugmentedRowCount(
+                      routing.rows(), nodes,
+                      options.estimation.useMarginalConstraints))));
 
   std::optional<stream::TraceWriter> estWriter, priorWriter;
   if (!outDir.empty()) {
@@ -783,6 +860,12 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "convert") == 0)
       return CmdConvert(argc, argv);
     if (std::strcmp(argv[1], "topo") == 0) return CmdTopo(argc, argv);
+  } catch (const UsageError& e) {
+    std::fprintf(stderr,
+                 "error: %s\nusage: run `ictm` without arguments for the "
+                 "synopsis (full reference: docs/CLI.md)\n",
+                 e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

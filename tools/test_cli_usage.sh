@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# CLI option-validation test, registered with CTest as `cli_usage`.
+#
+# Contract (docs/CLI.md "Exit codes"): bad option *values* — an
+# unknown --solver, a non-numeric --threads — are usage errors: the
+# command exits 2 before doing any work and prints a one-line usage
+# hint on stderr.  Valid --solver values must be accepted by
+# estimate, stream and run.
+#
+# usage: test_cli_usage.sh <path-to-ictm>
+set -u
+
+BIN=${1:?usage: test_cli_usage.sh <path-to-ictm>}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+FAILURES=0
+
+# expect_usage_error <args...>: exit code 2 + a usage hint on stderr.
+expect_usage_error() {
+  local err rc
+  err=$("$BIN" "$@" 2>&1 >/dev/null)
+  rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "FAIL: ictm $* exited $rc (want 2)"
+    FAILURES=$((FAILURES + 1))
+  elif ! printf '%s' "$err" | grep -qi "usage"; then
+    echo "FAIL: ictm $* printed no usage hint: $err"
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok (exit 2): ictm $*"
+  fi
+}
+
+# expect_ok <args...>: exit code 0.
+expect_ok() {
+  if ! "$BIN" "$@" >/dev/null 2>&1; then
+    echo "FAIL: ictm $* exited $? (want 0)"
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok (exit 0): ictm $*"
+  fi
+}
+
+# A tiny TM so estimate/stream have real input to reach flag handling.
+expect_ok synthesize "$WORK/tm.csv" 6 3 0.25 1
+
+# Unknown --solver values are rejected with exit 2 everywhere.
+expect_usage_error estimate "$WORK/tm.csv" --solver bogus
+expect_usage_error stream "$WORK/tm.csv" --solver bogus
+expect_usage_error run fig2_example --solver bogus
+expect_usage_error run fig2_example --solver Dense
+
+# Non-numeric / out-of-range numeric option values: exit 2.
+expect_usage_error estimate "$WORK/tm.csv" ring:6:2 abc
+expect_usage_error stream "$WORK/tm.csv" --threads abc
+expect_usage_error stream "$WORK/tm.csv" --queue 0
+expect_usage_error stream "$WORK/tm.csv" --window -3
+expect_usage_error stream "$WORK/tm.csv" --f not-a-number
+expect_usage_error run fig2_example --threads abc
+expect_usage_error run fig2_example --seed -1
+
+# Unknown flags keep exiting 2 (pre-existing contract).
+expect_usage_error estimate "$WORK/tm.csv" --frobnicate
+expect_usage_error stream "$WORK/tm.csv" --frobnicate
+
+# Every valid solver value is accepted on each surface.
+for solver in auto dense sparse cg; do
+  expect_ok estimate "$WORK/tm.csv" ring:6:2 1 0 --solver "$solver"
+  expect_ok stream "$WORK/tm.csv" --threads 1 --solver "$solver"
+done
+expect_ok run fig2_example --solver sparse --tiny
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES CLI usage check(s) failed"
+  exit 1
+fi
+echo "all CLI usage checks passed"
