@@ -118,7 +118,16 @@ struct StreamingEstimator::Impl {
       std::lock_guard<std::mutex> lock(errorMutex);
       if (!firstError) firstError = e;
     }
-    failed.store(true);
+    // `failed` must flip under queueMutex: both condvars wait on
+    // predicates that read it, and a store+notify outside the mutex
+    // can land between a waiter's predicate check and its block —
+    // the wakeup is lost and push()/workerLoop wait forever on a
+    // failure that already happened (found in the PR-6 TSan audit;
+    // regression-tested by StreamingEstimator.WorkerFailurePropagates).
+    {
+      std::lock_guard<std::mutex> lock(queueMutex);
+      failed.store(true);
+    }
     notFull.notify_all();
     notEmpty.notify_all();
   }

@@ -287,6 +287,38 @@ TEST(StreamingEstimator, RejectsBadConfiguration) {
   }
 }
 
+TEST(StreamingEstimator, WorkerFailurePropagatesWithoutDeadlock) {
+  // Regression for the PR-6 TSan audit: fail() used to flip `failed`
+  // and notify outside queueMutex, so a producer blocked on a full
+  // queue could miss the wakeup and hang forever.  queueCapacity = 1
+  // keeps push() blocked on notFull while the worker fails, which is
+  // exactly the lost-wakeup window.
+  StreamFixture fx;
+  const std::size_t n = fx.truth.nodeCount();
+  for (std::size_t threads : {1u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    StreamingOptions opts;
+    opts.threads = threads;
+    opts.queueCapacity = 1;
+    auto boom = [](std::size_t seq, const double*, const double*) {
+      if (seq == 2) throw Error("callback exploded");
+    };
+    StreamingEstimator estimator(fx.routing, n, opts, boom);
+    bool caught = false;
+    try {
+      for (std::size_t t = 0; t < fx.truth.binCount(); ++t) {
+        estimator.push(MakeBinEvent(fx.routing, n, fx.truth.binData(t)));
+      }
+      estimator.finish();
+    } catch (const Error& e) {
+      caught = true;
+      EXPECT_NE(std::string(e.what()).find("callback exploded"),
+                std::string::npos);
+    }
+    EXPECT_TRUE(caught) << "worker failure was swallowed";
+  }
+}
+
 // ---- connection aggregator -------------------------------------------------
 
 TEST(ConnectionAggregator, ReproducesGeneratorSeriesAndLinkLoads) {
