@@ -281,9 +281,15 @@ int RunTopoSweep(const std::string& outPath, std::size_t threads,
   };
 
   bool allPass = true;
+  // Sanitizer CI runs set this: the bit-identity and backend-agreement
+  // contracts stay enforced, but timing-ratio gates are skipped — a
+  // ~10x instrumented slowdown says nothing about the real ratios.
+  const bool correctnessOnly =
+      std::getenv("ICTM_BENCH_CORRECTNESS_ONLY") != nullptr;
   json::Array autoRows;
   json::Array backendRows;
-  std::printf("topology scale sweep (%zu threads)\n\n", threads);
+  std::printf("topology scale sweep (%zu threads%s)\n\n", threads,
+              correctnessOnly ? ", correctness-only" : "");
   for (std::size_t idx = 0; idx < sweep.size(); ++idx) {
     const scenario::TopoSweepEntry& entry = sweep[idx];
     double denseMsPerBin = 0.0;
@@ -361,7 +367,7 @@ int RunTopoSweep(const std::string& outPath, std::size_t threads,
     // 200-node hierarchy; `auto` (same code path as its resolved
     // backend) never slower than dense at 22 nodes, with slack for
     // timer noise.
-    if (entry.spec == "hierarchy:200") {
+    if (entry.spec == "hierarchy:200" && !correctnessOnly) {
       if (bestNonDenseSpeedup < 3.0) {
         std::printf("  -> FAIL: best non-dense speedup %.2fx < 3x at "
                     "%s\n",
@@ -376,7 +382,7 @@ int RunTopoSweep(const std::string& outPath, std::size_t threads,
     // At 22 nodes `auto` resolves to dense — literally the same code
     // path — so any measured gap is timer noise; the slack is sized to
     // still catch a mis-resolved threshold (cg would be ~2x slower).
-    if (runs.front().nodes == 22) {
+    if (runs.front().nodes == 22 && !correctnessOnly) {
       if (autoMsPerBin > denseMsPerBin * 1.35) {
         std::printf("  -> FAIL: auto %.2f ms/bin slower than dense "
                     "%.2f ms/bin at 22 nodes\n",

@@ -6,7 +6,9 @@
 //   ./bench_stream [nodes] [bins] [threads]   # defaults: 22 2016 4
 //
 // Exit code 0 when the formats agree bit-for-bit and the >= 5x read
-// speedup holds; 1 otherwise.
+// speedup holds; 1 otherwise.  ICTM_BENCH_CORRECTNESS_ONLY=1 skips the
+// speedup gate (sanitizer builds distort timings by ~10x) while still
+// enforcing every bit-identity check.
 #include <unistd.h>
 
 #include <chrono>
@@ -121,8 +123,17 @@ int main(int argc, char** argv) {
               streamSec > 0.0 ? double(bins) / streamSec : 0.0, threads,
               batchSec, matches ? "yes" : "NO");
 
-  const bool pass = agree && matches && speedup >= 5.0;
-  std::printf("[%s] binary reads %.1fx faster than CSV (need >= 5x)\n",
-              pass ? "PASS" : "FAIL", speedup);
+  const bool correctnessOnly =
+      std::getenv("ICTM_BENCH_CORRECTNESS_ONLY") != nullptr;
+  const bool pass =
+      agree && matches && (correctnessOnly || speedup >= 5.0);
+  if (correctnessOnly) {
+    std::printf("[%s] correctness-only mode: speedup gate skipped "
+                "(measured %.1fx)\n",
+                pass ? "PASS" : "FAIL", speedup);
+  } else {
+    std::printf("[%s] binary reads %.1fx faster than CSV (need >= 5x)\n",
+                pass ? "PASS" : "FAIL", speedup);
+  }
   return pass ? 0 : 1;
 }

@@ -52,6 +52,7 @@ LinkTracePair SimulatePacketTraces(const TraceSimConfig& config,
 
   const auto& apps = config.mix.profiles();
   std::vector<double> appWeights;
+  appWeights.reserve(apps.size());
   for (const auto& p : apps) appWeights.push_back(p.mixWeight);
   stats::DiscreteSampler appSampler(appWeights);
 

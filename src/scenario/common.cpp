@@ -30,6 +30,10 @@ std::string SolverNote(core::SolverKind kind, std::size_t rows) {
   return note;
 }
 
+std::chrono::steady_clock::time_point StartTimer() {
+  return std::chrono::steady_clock::now();
+}
+
 double SecondsSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        t0)
@@ -86,6 +90,7 @@ WeeklyFitResult FitWeekly(const ScenarioContext& ctx, bool totem,
   WeeklyFitResult out{
       MakeScenarioDataset(ctx, totem, canonicalSeed, weeks), {}};
   const std::size_t binsPerWeek = out.data.binsPerWeek;
+  out.fits.reserve(weeks);
   for (std::size_t w = 0; w < weeks; ++w) {
     const auto week = out.data.measured.slice(w * binsPerWeek, binsPerWeek);
     out.fits.push_back(core::FitStableFP(week));
@@ -142,13 +147,13 @@ TopoSweepRun RunTopoSweepEntry(const TopoSweepEntry& entry,
   { core::TmBinSolver warmup(system, options); }
 
   options.threads = baselineThreads;
-  auto t0 = std::chrono::steady_clock::now();
+  auto t0 = StartTimer();
   auto estBase =
       core::EstimateSeries(system, routing, truth, priors, options);
   const double secBase = SecondsSince(t0);
 
   options.threads = fanoutThreads;
-  t0 = std::chrono::steady_clock::now();
+  t0 = StartTimer();
   const auto estFan =
       core::EstimateSeries(system, routing, truth, priors, options);
   const double secFan = SecondsSince(t0);
@@ -186,6 +191,7 @@ json::Value SeriesJson(const std::vector<double>& xs, std::size_t points) {
   o.set("length", xs.size());
   json::Array samples;
   const std::size_t step = std::max<std::size_t>(1, xs.size() / points);
+  samples.reserve(xs.size() / step + 1);
   for (std::size_t t = 0; t < xs.size(); t += step) {
     json::Array pair;
     pair.push_back(json::Value(t));

@@ -27,6 +27,12 @@ core::SolverKind ContextSolverKind(const ScenarioContext& ctx);
 /// `auto` resolved to for a system with `rows` augmented rows.
 std::string SolverNote(core::SolverKind kind, std::size_t rows);
 
+/// Starts a notes-channel timer.  StartTimer/SecondsSince are the only
+/// sanctioned wall-clock reads in src/ (see ICTM-D002 in
+/// docs/ARCHITECTURE.md "Correctness tooling"): timings feed the
+/// out-of-band notes channel, never a result JSON.
+std::chrono::steady_clock::time_point StartTimer();
+
 /// Seconds elapsed since `t0` (for the notes-channel timings).
 double SecondsSince(std::chrono::steady_clock::time_point t0);
 

@@ -1,5 +1,6 @@
 #include "scenario/scenario.hpp"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -13,6 +14,7 @@
 #include "common/parallel.hpp"
 #include "core/estimation.hpp"
 #include "scenario/builtin.hpp"
+#include "scenario/common.hpp"
 
 namespace ictm::scenario {
 
@@ -41,6 +43,22 @@ void EnsureBuiltins() {
     detail::RegisterStreamScenarios();
     detail::RegisterWhatIfScenarios();
   });
+}
+
+// Strict non-negative integer parse for the bench-harness flags —
+// rejects trailing junk and overflow instead of silently yielding 0
+// the way atoll does (ICTM-D005).
+bool ParseNonNegative(const char* arg, unsigned long long max,
+                      unsigned long long* out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(arg, &end, 10);
+  if (end == arg || *end != '\0' || errno == ERANGE || v > max ||
+      arg[0] == '-') {
+    return false;
+  }
+  *out = v;
+  return true;
 }
 
 }  // namespace
@@ -78,7 +96,7 @@ ScenarioResult RunScenario(const std::string& name,
     if (info.name == name) result.info = info;
   }
 
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = StartTimer();
   try {
     json::Value body = it->second(ctx, result.notes);
     const json::Object& obj = body.asObject();
@@ -106,10 +124,7 @@ ScenarioResult RunScenario(const std::string& name,
     result.error = e.what();
     result.pass = false;
   }
-  result.seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    start)
-          .count();
+  result.seconds = SecondsSince(start);
   return result;
 }
 
@@ -168,9 +183,21 @@ int RunScenarioMain(const std::string& name, int argc, char** argv) {
     if (std::strcmp(argv[i], "--tiny") == 0) {
       ctx.tiny = true;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      ctx.threads = static_cast<std::size_t>(std::atoll(argv[++i]));
+      unsigned long long v = 0;
+      if (!ParseNonNegative(argv[++i], 4096, &v)) {
+        std::fprintf(stderr, "--threads must be an integer in [0, 4096], got: %s\n",
+                     argv[i]);
+        return 2;
+      }
+      ctx.threads = static_cast<std::size_t>(v);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      ctx.seedOffset = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      unsigned long long v = 0;
+      if (!ParseNonNegative(argv[++i], ~0ULL, &v)) {
+        std::fprintf(stderr, "--seed must be a non-negative integer, got: %s\n",
+                     argv[i]);
+        return 2;
+      }
+      ctx.seedOffset = static_cast<std::uint64_t>(v);
     } else if (std::strcmp(argv[i], "--topology") == 0 && i + 1 < argc) {
       ctx.topology = argv[++i];
     } else if (std::strcmp(argv[i], "--solver") == 0 && i + 1 < argc) {

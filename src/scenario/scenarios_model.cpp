@@ -18,8 +18,10 @@ json::Value RunFig2Example(const ScenarioContext&, std::string&) {
 
   json::Object body;
   json::Array rows;
+  rows.reserve(3);
   for (std::size_t i = 0; i < 3; ++i) {
     json::Array row;
+    row.reserve(3);
     for (std::size_t j = 0; j < 3; ++j) row.push_back(json::Value(tm(i, j)));
     rows.push_back(json::Value(std::move(row)));
   }

@@ -74,12 +74,12 @@ json::Value RunEstimationScale(const ScenarioContext& ctx,
                           routing.rows(), n,
                           options.useMarginalConstraints));
   options.threads = kBaselineThreads;
-  auto t0 = std::chrono::steady_clock::now();
+  auto t0 = StartTimer();
   const auto est1 = core::EstimateSeries(routing, truth, priors, options);
   const double sec1 = SecondsSince(t0);
 
   options.threads = kFanoutThreads;
-  t0 = std::chrono::steady_clock::now();
+  t0 = StartTimer();
   const auto estN = core::EstimateSeries(routing, truth, priors, options);
   const double secN = SecondsSince(t0);
   AppendTimingNote(notes, "EstimateSeries", sec1, secN);
@@ -120,13 +120,13 @@ json::Value RunSynthesisScale(const ScenarioContext& ctx,
 
   cfg.threads = kBaselineThreads;
   stats::Rng rng1(ctx.seed(7));
-  auto t0 = std::chrono::steady_clock::now();
+  auto t0 = StartTimer();
   const core::SyntheticTm synth1 = core::GenerateSyntheticTm(cfg, rng1);
   const double sec1 = SecondsSince(t0);
 
   cfg.threads = kFanoutThreads;
   stats::Rng rngN(ctx.seed(7));
-  t0 = std::chrono::steady_clock::now();
+  t0 = StartTimer();
   const core::SyntheticTm synthN = core::GenerateSyntheticTm(cfg, rngN);
   const double secN = SecondsSince(t0);
   AppendTimingNote(notes, "GenerateSyntheticTm", sec1, secN);

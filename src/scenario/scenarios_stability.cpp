@@ -65,6 +65,7 @@ json::Value Fig6One(const ScenarioContext& ctx, const char* label,
     json::Object node;
     node.set("node", i);
     json::Array byWeek;
+    byWeek.reserve(weeks);
     double lo = 1e300, hi = -1e300;
     for (std::size_t w = 0; w < weeks; ++w) {
       const double p = r.fits[w].preference[i];

@@ -65,7 +65,7 @@ json::Value RunStreamEquivalence(const ScenarioContext& ctx,
                       core::AugmentedRowCount(
                           setup.routing.rows(), n,
                           base.estimation.useMarginalConstraints));
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = StartTimer();
   const stream::StreamingRunResult serial =
       stream::EstimateSeriesStreaming(setup.routing, setup.truth, base);
   const double serialSec = SecondsSince(t0);
@@ -94,7 +94,7 @@ json::Value RunStreamEquivalence(const ScenarioContext& ctx,
   core::EstimationOptions batchOpts;
   batchOpts.threads = 2;
   batchOpts.solver = ContextSolverKind(ctx);
-  const auto t1 = std::chrono::steady_clock::now();
+  const auto t1 = StartTimer();
   const auto batch = core::EstimateSeries(setup.routing, setup.truth,
                                           serial.priors, batchOpts);
   const double batchSec = SecondsSince(t1);
@@ -146,7 +146,7 @@ json::Value RunStreamScale(const ScenarioContext& ctx,
   double sec1 = 0.0, sec4 = 0.0;
   for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
     opts.threads = threads;
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = StartTimer();
     const stream::StreamingRunResult run =
         stream::EstimateSeriesStreaming(setup.routing, setup.truth, opts);
     const double sec = SecondsSince(t0);
@@ -192,10 +192,10 @@ json::Value RunStreamScale(const ScenarioContext& ctx,
   traffic::WriteCsvFile(csvPath, setup.truth);
   stream::WriteTraceFile(tracePath, setup.truth);
 
-  auto t0 = std::chrono::steady_clock::now();
+  auto t0 = StartTimer();
   const auto fromCsv = traffic::ReadCsvFile(csvPath);
   const double csvSec = SecondsSince(t0);
-  t0 = std::chrono::steady_clock::now();
+  t0 = StartTimer();
   const auto fromTrace = stream::ReadTraceFile(tracePath);
   const double traceSec = SecondsSince(t0);
   const bool formatsAgree = BitIdentical(fromCsv, fromTrace) &&

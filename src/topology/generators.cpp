@@ -37,7 +37,10 @@ Graph MakeGrid(std::size_t rows, std::size_t cols) {
   Graph g;
   for (std::size_t r = 0; r < rows; ++r) {
     for (std::size_t c = 0; c < cols; ++c) {
-      g.addNode("g" + std::to_string(r) + "_" + std::to_string(c));
+      std::string name = IndexedName('g', r);
+      name += '_';
+      name += std::to_string(c);
+      g.addNode(name);
     }
   }
   const auto id = [cols](std::size_t r, std::size_t c) {
@@ -66,10 +69,10 @@ Graph MakeHierarchy(const HierarchyConfig& cfg, std::uint64_t seed) {
   const std::size_t access = n - core - agg;
 
   Graph g;
-  for (std::size_t i = 0; i < core; ++i) g.addNode("c" + std::to_string(i));
-  for (std::size_t i = 0; i < agg; ++i) g.addNode("a" + std::to_string(i));
+  for (std::size_t i = 0; i < core; ++i) g.addNode(IndexedName('c', i));
+  for (std::size_t i = 0; i < agg; ++i) g.addNode(IndexedName('a', i));
   for (std::size_t i = 0; i < access; ++i)
-    g.addNode("e" + std::to_string(i));
+    g.addNode(IndexedName('e', i));
 
   auto bilink = [&](NodeId a, NodeId b, double baseWeight,
                     double capacity) {
@@ -122,7 +125,7 @@ Graph MakeWaxman(const WaxmanConfig& cfg, std::uint64_t seed) {
   Graph g;
   std::vector<double> x(n), y(n);
   for (std::size_t i = 0; i < n; ++i) {
-    g.addNode("w" + std::to_string(i));
+    g.addNode(IndexedName('w', i));
     x[i] = rng.uniform();
     y[i] = rng.uniform();
   }

@@ -22,6 +22,15 @@ using NodeId = std::size_t;
 /// Link identifier (index into the graph's link table).
 using LinkId = std::size_t;
 
+/// Builds a generator node name like "c12" via append — avoids the
+/// `const char* + std::string&&` concatenation that GCC 12's -Wrestrict
+/// mis-analyzes when inlined into hot loops (GCC bug 105329).
+inline std::string IndexedName(char prefix, std::size_t index) {
+  std::string name(1, prefix);
+  name += std::to_string(index);
+  return name;
+}
+
 /// A directed link with an IGP weight and capacity.
 struct Link {
   NodeId src = 0;               ///< source node id

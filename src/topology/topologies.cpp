@@ -150,7 +150,7 @@ Graph MakeRing(std::size_t n, std::size_t chordStep) {
   ICTM_REQUIRE(n >= 3, "ring needs at least 3 nodes");
   Graph g;
   for (std::size_t i = 0; i < n; ++i) {
-    g.addNode("r" + std::to_string(i));
+    g.addNode(IndexedName('r', i));
   }
   for (std::size_t i = 0; i < n; ++i) {
     g.addBidirectionalLink(i, (i + 1) % n, 1.0);

@@ -1,0 +1,56 @@
+// Lint fixture: MUST produce zero findings.  Exercises the legal
+// near-misses of every rule, including the comment/string stripping:
+// rand(), time(), sprintf and "for (x : unordered)" appear below in
+// comments and string literals only.
+#include <cstddef>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+// Legal: lookups into unordered containers never observe hash order —
+// only iteration does (e.g. `for (auto& kv : table)` would be flagged).
+double LookupOnly(const std::unordered_map<int, double>& table, int key) {
+  const auto it = table.find(key);
+  return it == table.end() ? 0.0 : it->second;
+}
+
+// Legal: ordered containers iterate deterministically.
+double SumOrdered(const std::map<int, double>& table) {
+  double total = 0.0;
+  for (const auto& kv : table) total += kv.second;
+  return total;
+}
+
+// Legal: double accumulator; `floating` is not the float keyword.
+double SumDoubles(const std::vector<double>& xs) {
+  double floating_total = 0.0;
+  for (const double x : xs) floating_total += x;
+  return floating_total;
+}
+
+// Legal: static const / constexpr / thread_local are not shared
+// mutable state.
+double Scaled(double x) {
+  static const double kScale = 4096.0;
+  static constexpr std::size_t kRepeat = 2;
+  static thread_local std::string scratch;
+  scratch = "rand() time() sprintf( for (auto& kv : table)";
+  return x * kScale * static_cast<double>(kRepeat + scratch.empty());
+}
+
+// Legal: strict parser with end-pointer verification, not atoi.
+double ParseStrict(const char* text, bool* ok) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  *ok = end != text && *end == '\0';
+  return v;
+}
+
+// Legal: snprintf is bounds-checked (sprintf is the banned spelling).
+std::string FormatBin(std::size_t bin) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "bin-%zu", bin);
+  return std::string(buffer);
+}

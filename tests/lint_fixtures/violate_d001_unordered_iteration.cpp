@@ -1,0 +1,24 @@
+// Lint fixture: MUST fire ICTM-D001 (and nothing else).
+// Iterating an unordered container feeds hash order — which depends on
+// pointer values and standard-library version — into the output.
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+
+double SumInHashOrder(const std::unordered_map<int, double>& weights) {
+  std::unordered_map<int, double> scaled = weights;
+  double total = 0.0;
+  for (const auto& kv : scaled) {  // ICTM-D001: range-for over unordered
+    total = total * 2.0 + kv.second;
+  }
+  return total;
+}
+
+std::size_t CountViaIterators(const std::unordered_set<int>& seen) {
+  std::unordered_set<int> copy = seen;
+  std::size_t count = 0;
+  for (auto it = copy.begin(); it != copy.end(); ++it) {  // ICTM-D001
+    ++count;
+  }
+  return count;
+}

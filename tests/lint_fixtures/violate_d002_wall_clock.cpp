@@ -1,0 +1,22 @@
+// Lint fixture: MUST fire ICTM-D002 (and nothing else).
+// Wall-clock and ambient-entropy reads make results depend on when and
+// where the run happens instead of on the inputs alone.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double JitterForBin(double value) {
+  std::srand(42);                              // ICTM-D002
+  const int noise = std::rand();               // ICTM-D002
+  return value + static_cast<double>(noise % 3);
+}
+
+long SeedFromEnvironment() {
+  std::random_device entropy;                  // ICTM-D002
+  const std::time_t stamp = std::time(nullptr);  // ICTM-D002
+  const auto tick =
+      std::chrono::steady_clock::now().time_since_epoch();  // ICTM-D002
+  return static_cast<long>(entropy() + stamp) +
+         static_cast<long>(tick.count());
+}

@@ -1,0 +1,17 @@
+// Lint fixture: MUST fire ICTM-D003 (and nothing else).
+// fp32 accumulation rounds differently across compilers, vector widths
+// and summation orders — estimation paths accumulate in double.
+#include <cstddef>
+#include <vector>
+
+double SumLinkLoads(const std::vector<double>& loads) {
+  float total = 0.0f;  // ICTM-D003: float accumulator
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    total += static_cast<float>(loads[i]);  // ICTM-D003
+  }
+  return static_cast<double>(total);
+}
+
+struct BinScratch {
+  std::vector<float> partials;  // ICTM-D003: fp32 storage
+};

@@ -1,0 +1,15 @@
+// Lint fixture: MUST fire ICTM-D004 (and nothing else).
+// A static mutable local is shared across every caller and thread:
+// a data race in parallel regions, and an order dependence everywhere.
+#include <cstddef>
+#include <vector>
+
+double RunningMean(double sample) {
+  static double sum = 0.0;        // ICTM-D004: static mutable local
+  static std::size_t count = 0;   // ICTM-D004
+  sum += sample;
+  ++count;
+  return sum / static_cast<double>(count);
+}
+
+static std::vector<double> gScratch;  // ICTM-D004: mutable global

@@ -1,0 +1,18 @@
+// Lint fixture: MUST fire ICTM-D005 (and nothing else).
+// sprintf/strcpy overflow silently; atoi/atof accept trailing junk and
+// return 0 on error — the repo's strict strtod/strtoul parsers reject
+// malformed input with a located error instead.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+int ParseLoosely(const char* text) {
+  char buffer[16];
+  std::strcpy(buffer, text);          // ICTM-D005
+  std::sprintf(buffer, "%d", 42);     // ICTM-D005
+  return std::atoi(buffer);           // ICTM-D005
+}
+
+double ParseRate(const char* text) {
+  return std::atof(text);             // ICTM-D005
+}

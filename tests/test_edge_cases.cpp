@@ -38,7 +38,9 @@ TEST(EdgeCases, FitOnTwoNodeNetwork) {
   linalg::Matrix act(2, 10);
   for (std::size_t i = 0; i < 2; ++i)
     for (std::size_t t = 0; t < 10; ++t)
-      act(i, t) = rng.uniform(1.0, 5.0) * (1.0 + 0.3 * std::sin(0.7 * t + i));
+      act(i, t) = rng.uniform(1.0, 5.0) *
+                  (1.0 + 0.3 * std::sin(0.7 * static_cast<double>(t) +
+                                        static_cast<double>(i)));
   const auto series =
       core::EvaluateStableFP(0.3, act, linalg::Vector{0.7, 0.3});
   const core::StableFPFit fit = core::FitStableFP(series);
@@ -195,7 +197,8 @@ TEST(EdgeCases, FitInvariantToGlobalScale) {
   for (std::size_t i = 0; i < 4; ++i)
     for (std::size_t t = 0; t < 12; ++t)
       act(i, t) = rng.uniform(1.0, 5.0) *
-                  (1.0 + 0.4 * std::sin(0.5 * t + 1.3 * i));
+                  (1.0 + 0.4 * std::sin(0.5 * static_cast<double>(t) +
+                                        1.3 * static_cast<double>(i)));
   const linalg::Vector pref{0.4, 0.3, 0.2, 0.1};
   const auto small = core::EvaluateStableFP(0.3, act, pref);
   const auto big = core::EvaluateStableFP(0.3, act * 1e6, pref);

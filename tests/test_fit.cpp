@@ -35,8 +35,9 @@ ExactInstance MakeExact(double f, std::size_t n, std::size_t bins,
     const double phase = rng.uniform(0.0, 6.28);
     const double wobble = rng.uniform(0.2, 0.8);
     for (std::size_t t = 0; t < bins; ++t) {
-      act(i, t) = base * (1.0 + wobble * std::sin(phase + 0.37 * t +
-                                                  0.11 * double(i * t)));
+      act(i, t) =
+          base * (1.0 + wobble * std::sin(phase + 0.37 * static_cast<double>(t) +
+                                          0.11 * static_cast<double>(i * t)));
     }
   }
   traffic::TrafficMatrixSeries series = EvaluateStableFP(f, act, pref);

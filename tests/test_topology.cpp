@@ -64,7 +64,7 @@ TEST(ShortestPathsTest, PrefersCheaperTwoHopPath) {
 TEST(ShortestPathsTest, RecordsEqualCostPredecessors) {
   // Square: two equal paths from 0 to 2.
   Graph g;
-  for (int i = 0; i < 4; ++i) g.addNode("n" + std::to_string(i));
+  for (std::size_t i = 0; i < 4; ++i) g.addNode(IndexedName('n', i));
   g.addBidirectionalLink(0, 1, 1.0);
   g.addBidirectionalLink(1, 2, 1.0);
   g.addBidirectionalLink(0, 3, 1.0);
@@ -103,7 +103,7 @@ TEST(RoutingMatrix, SingleLinkNetwork) {
 TEST(RoutingMatrix, EcmpSplitsEvenly) {
   // Square topology: flow 0->2 splits 50/50 across the two paths.
   Graph g;
-  for (int i = 0; i < 4; ++i) g.addNode("n" + std::to_string(i));
+  for (std::size_t i = 0; i < 4; ++i) g.addNode(IndexedName('n', i));
   g.addBidirectionalLink(0, 1, 1.0);
   g.addBidirectionalLink(1, 2, 1.0);
   g.addBidirectionalLink(0, 3, 1.0);

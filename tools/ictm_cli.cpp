@@ -283,6 +283,7 @@ int CmdRun(int argc, char** argv) {
   }
   if (runAll) {
     names.clear();
+    names.reserve(scenario::ListScenarios().size());
     for (const auto& info : scenario::ListScenarios()) {
       names.push_back(info.name);
     }
