@@ -1,0 +1,80 @@
+// Durable session checkpoints for the estimation server.
+//
+// The restart-losslessness contract (ISSUE 7): a client reconnecting
+// with its session key after a server crash resumes from the last
+// durable checkpoint and the concatenation of estimate frames it
+// receives — pre-crash plus post-resume — is byte-identical to an
+// uninterrupted run.  Two facts make this cheap:
+//
+//   1. stream::StreamingCheckpoint is captured at a push boundary and
+//      is a pure function of the pushed prefix, so a checkpoint at
+//      seq k is valid no matter how far emission had progressed.
+//   2. Estimates are pure functions of (checkpoint state, bin), so
+//      the server may conservatively resume from any k ≤ the client's
+//      received-frame count e; re-sent frames with seq < e are
+//      discarded client-side by definition of e.
+//
+// Each save is one file `<hex(sessionKey)>-<seq>.icks` written via
+// temp + atomic rename, self-validating (magic, CRC-32 trailer), and
+// carrying a config echo so a resume with different topology/options
+// is rejected as kSessionMismatch instead of silently diverging.  The
+// store keeps the newest `keep` checkpoints per key and never reads
+// the clock — retention is by sequence number.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/estimation.hpp"
+#include "stream/online.hpp"
+
+namespace ictm::server {
+
+/// One durable checkpoint: the estimator state plus the config echo
+/// that must match on resume.
+struct SessionCheckpoint {
+  std::string sessionKey;    ///< client-chosen session identity
+  std::string topologySpec;  ///< config echo: topology spec
+  std::uint64_t topologySeed = 0;  ///< config echo: generator seed
+  double f = 0.25;                 ///< config echo: forward fraction
+  std::uint64_t window = 0;        ///< config echo: re-fit window
+  core::SolverKind solver = core::SolverKind::kAuto;  ///< config echo
+  stream::StreamingCheckpoint state;  ///< estimator producer state
+};
+
+/// Directory-backed store of SessionCheckpoints.  Thread-compatible:
+/// the server serialises saves per session (each session checkpoints
+/// only itself); distinct sessions write distinct files.
+class CheckpointStore {
+ public:
+  /// `dir` is created on first save; `keep` bounds retained
+  /// checkpoints per session key (at least 1).
+  explicit CheckpointStore(std::string dir, std::size_t keep = 8);
+
+  /// Persists one checkpoint (temp file + atomic rename), then prunes
+  /// older checkpoints of the same key beyond the retention bound.
+  /// Throws ictm::Error on IO failure.
+  void save(const SessionCheckpoint& checkpoint);
+
+  /// Loads the newest durable checkpoint for `sessionKey` with
+  /// state.seq <= maxSeq; nullopt when none exists (resume then
+  /// starts from bin 0).  Unreadable or corrupt files are skipped —
+  /// a torn write must never block a resume that an older checkpoint
+  /// can serve.
+  std::optional<SessionCheckpoint> load(const std::string& sessionKey,
+                                        std::uint64_t maxSeq) const;
+
+  /// Deletes every checkpoint of `sessionKey` (normal end of stream).
+  void drop(const std::string& sessionKey);
+
+  /// The backing directory.
+  const std::string& directory() const noexcept { return dir_; }
+
+ private:
+  std::string dir_;
+  std::size_t keep_;
+};
+
+}  // namespace ictm::server

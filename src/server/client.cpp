@@ -1,0 +1,192 @@
+#include "server/client.hpp"
+
+#include <cstddef>
+#include <thread>
+#include <utility>
+
+namespace ictm::server {
+namespace {
+
+/// Buffered frame reader over a socket (client side).
+class FrameReader {
+ public:
+  explicit FrameReader(Socket* socket) : socket_(socket) {}
+
+  /// Reads the next frame.  False on EOF / error / damage, with
+  /// `*error` describing why.
+  bool next(std::size_t maxFrameBytes, Frame* frame, std::string* error) {
+    for (;;) {
+      std::size_t consumed = 0;
+      const DecodeStatus status = DecodeFrame(
+          buffer_.data() + parsed_, buffer_.size() - parsed_, maxFrameBytes,
+          frame, &consumed);
+      if (status == DecodeStatus::kOk) {
+        parsed_ += consumed;
+        return true;
+      }
+      if (status == DecodeStatus::kCrcMismatch) {
+        *error = "frame CRC mismatch from server";
+        return false;
+      }
+      if (status == DecodeStatus::kOversize) {
+        *error = "oversize frame from server";
+        return false;
+      }
+      if (parsed_ > 0) {
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() + static_cast<std::ptrdiff_t>(parsed_));
+        parsed_ = 0;
+      }
+      std::uint8_t chunk[16384];
+      const long n = socket_->recvSome(chunk, sizeof(chunk));
+      if (n <= 0) {
+        *error = "connection closed by server";
+        return false;
+      }
+      buffer_.insert(buffer_.end(), chunk, chunk + n);
+    }
+  }
+
+ private:
+  Socket* socket_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t parsed_ = 0;
+};
+
+bool SendFrame(Socket* socket, FrameType type,
+               const std::vector<std::uint8_t>& payload) {
+  const auto frame = EncodeFrame(type, payload.data(), payload.size());
+  return socket->sendAll(frame.data(), frame.size());
+}
+
+}  // namespace
+
+ClientResult Client::Run(const ClientConfig& config, std::uint64_t totalBins,
+                         const BinSource& source, const EstimateHook& hook) {
+  ClientResult result;
+  result.firstFrameSeq = config.hello.clientFrames;
+
+  std::string error;
+  Socket socket = Socket::Connect(config.endpoint, &error);
+  if (!socket.valid()) {
+    result.transportError = error;
+    return result;
+  }
+  if (config.socketBufferBytes > 0) {
+    socket.setBufferSizes(config.socketBufferBytes);
+  }
+
+  if (!SendFrame(&socket, FrameType::kHello, config.hello.encode())) {
+    result.transportError = "failed to send HELLO";
+    return result;
+  }
+
+  FrameReader reader(&socket);
+  Frame frame;
+  if (!reader.next(kMaxHandshakeFrameBytes, &frame, &error)) {
+    result.transportError = error;
+    return result;
+  }
+  if (frame.type == FrameType::kError) {
+    ErrorInfo info;
+    if (info.decode(frame.payload)) result.serverError = info;
+    result.transportError = "server refused the session";
+    return result;
+  }
+  WelcomeReply welcome;
+  if (frame.type != FrameType::kWelcome || !welcome.decode(frame.payload) ||
+      welcome.version != kProtocolVersion || welcome.nodes == 0) {
+    result.transportError = "malformed handshake reply";
+    return result;
+  }
+  result.nodes = welcome.nodes;
+  result.resumeFrom = welcome.resumeFrom;
+  if (welcome.resumeFrom > totalBins ||
+      welcome.resumeFrom > config.hello.clientFrames) {
+    result.transportError = "server requested a resume point beyond what "
+                            "this client can serve";
+    return result;
+  }
+
+  const std::size_t nodes = static_cast<std::size_t>(welcome.nodes);
+  const std::size_t maxFrameBytes = MaxFrameBytesForNodes(nodes);
+
+  // Receiver: collects estimate frames while the main thread sends
+  // bins — both directions must progress concurrently or the server's
+  // backpressure (by design) deadlocks a half-duplex client.
+  struct ReceiverState {
+    bool finished = false;
+    std::optional<ErrorInfo> serverError;
+    std::string transportError;
+    std::vector<std::vector<std::uint8_t>> payloads;
+  } recv;
+  std::thread receiver([&] {
+    std::uint64_t nextSeq = welcome.resumeFrom;
+    for (;;) {
+      Frame in;
+      std::string recvError;
+      if (!reader.next(maxFrameBytes, &in, &recvError)) {
+        recv.transportError = recvError;
+        return;
+      }
+      if (in.type == FrameType::kEstimate) {
+        std::uint64_t seq = 0;
+        std::vector<double> estimate(nodes * nodes);
+        std::vector<double> prior(nodes * nodes);
+        if (!DecodeEstimatePayload(in.payload, nodes, &seq, estimate.data(),
+                                   prior.data())) {
+          recv.transportError = "malformed ESTIMATE payload";
+          return;
+        }
+        if (seq != nextSeq) {
+          recv.transportError = "estimate frames out of order";
+          return;
+        }
+        ++nextSeq;
+        if (seq < config.hello.clientFrames) continue;  // already held
+        if (hook) hook(seq, in.payload);
+        recv.payloads.push_back(std::move(in.payload));
+        continue;
+      }
+      if (in.type == FrameType::kFinAck) {
+        recv.finished = true;
+        return;
+      }
+      if (in.type == FrameType::kError) {
+        ErrorInfo info;
+        if (info.decode(in.payload)) recv.serverError = info;
+        recv.transportError = "server reported an error";
+        return;
+      }
+      recv.transportError = "unexpected frame type from server";
+      return;
+    }
+  });
+
+  // Sender: bins the server asked for, then FIN.  A send failure just
+  // stops sending — the receiver owns the diagnosis (it will see the
+  // ERROR frame or the close that caused it).
+  bool sendOk = true;
+  std::vector<std::uint8_t> binPayload;
+  for (std::uint64_t seq = welcome.resumeFrom; sendOk && seq < totalBins;
+       ++seq) {
+    const double* bin = source(seq);
+    binPayload = EncodeBinPayload(seq, bin, nodes);
+    sendOk = SendFrame(&socket, FrameType::kBin, binPayload);
+  }
+  if (sendOk) {
+    sendOk = SendFrame(&socket, FrameType::kFin, EncodeCountPayload(totalBins));
+  }
+
+  receiver.join();
+  result.finished = recv.finished;
+  result.serverError = std::move(recv.serverError);
+  result.transportError = std::move(recv.transportError);
+  result.estimatePayloads = std::move(recv.payloads);
+  if (!result.finished && result.transportError.empty()) {
+    result.transportError = "session ended before FIN_ACK";
+  }
+  return result;
+}
+
+}  // namespace ictm::server

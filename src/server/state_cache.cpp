@@ -1,0 +1,76 @@
+#include "server/state_cache.hpp"
+
+#include <algorithm>
+
+#include "topology/registry.hpp"
+#include "topology/routing.hpp"
+
+namespace ictm::server {
+
+TopologyStateCache::TopologyStateCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+std::shared_ptr<const TopologyState> TopologyStateCache::acquire(
+    const std::string& spec, std::uint64_t seed) {
+  const auto key = std::make_pair(spec, seed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.lastUse = ++clock_;
+      ++stats_.hits;
+      return it->second.state;
+    }
+  }
+
+  // Build outside the lock: topology materialisation and operator
+  // compression can take a while, and sibling sessions on *other*
+  // topologies must not stall behind it.  Two racing builders of the
+  // same key both succeed; the second insert loses and adopts the
+  // first one's state, so callers still share.
+  const topology::Graph g = topology::MakeTopology(spec, seed);
+  auto state = std::make_shared<TopologyState>();
+  state->spec = spec;
+  state->seed = seed;
+  state->nodes = g.nodeCount();
+  state->routing = topology::BuildRoutingCsr(g);
+  state->system = std::make_shared<core::AugmentedTmSystem>(
+      state->routing, state->nodes, /*marginalConstraints=*/true);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = entries_.try_emplace(key);
+  if (inserted) {
+    it->second.state = std::move(state);
+    ++stats_.misses;
+    evictIdleLocked();
+  } else {
+    ++stats_.hits;
+  }
+  it->second.lastUse = ++clock_;
+  return it->second.state;
+}
+
+TopologyStateCache::Stats TopologyStateCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats out = stats_;
+  out.entries = entries_.size();
+  return out;
+}
+
+void TopologyStateCache::evictIdleLocked() {
+  while (entries_.size() > capacity_) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.state.use_count() > 1) continue;  // pinned by a session
+      if (victim == entries_.end() ||
+          it->second.lastUse < victim->second.lastUse) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;  // everything pinned; over-stay
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace ictm::server

@@ -28,14 +28,17 @@ namespace {
 // root of the thread-count/queue-capacity determinism contract.
 struct PriorModel {
   double f = 0.25;
-  linalg::Matrix phi;       // n² x n  (Eq. 7 operator for fixed f, P)
-  linalg::Matrix qphiPinv;  // n x 2n  (Eq. 8 pseudo-inverse)
+  linalg::Vector preference;  // the exact vector phi was built from,
+                              // so checkpoint() can rebuild the model
+  linalg::Matrix phi;         // n² x n  (Eq. 7 operator for fixed f, P)
+  linalg::Matrix qphiPinv;    // n x 2n  (Eq. 8 pseudo-inverse)
 };
 
 std::shared_ptr<const PriorModel> BuildPriorModel(
     double f, const linalg::Vector& preference, std::size_t n) {
   auto model = std::make_shared<PriorModel>();
   model->f = f;
+  model->preference = preference;
   model->phi = core::BuildActivityOperator(f, preference);
   model->qphiPinv =
       linalg::PseudoInverse(traffic::BuildMarginalOperator(n) * model->phi);
@@ -73,7 +76,7 @@ struct PendingResult {
 }  // namespace
 
 struct StreamingEstimator::Impl {
-  core::AugmentedTmSystem system;
+  std::shared_ptr<const core::AugmentedTmSystem> system;
   StreamingOptions options;
   EstimateCallback callback;
   std::size_t n = 0;
@@ -106,12 +109,12 @@ struct StreamingEstimator::Impl {
   std::vector<std::thread> workers;
   bool joined = false;
 
-  Impl(const linalg::CsrMatrix& routing, std::size_t nodes,
+  Impl(std::shared_ptr<const core::AugmentedTmSystem> sys,
        StreamingOptions opts, EstimateCallback cb)
-      : system(routing, nodes, opts.estimation.useMarginalConstraints),
+      : system(std::move(sys)),
         options(std::move(opts)),
         callback(std::move(cb)),
-        n(nodes) {}
+        n(system->nodeCount()) {}
 
   void fail(std::exception_ptr e) {
     {
@@ -134,7 +137,7 @@ struct StreamingEstimator::Impl {
 
   void workerLoop() {
     try {
-      core::TmBinSolver solver(system, options.estimation);
+      core::TmBinSolver solver(*system, options.estimation);
       std::vector<double> prior(n * n), estimate(n * n);
       for (;;) {
         QueueItem item;
@@ -176,10 +179,27 @@ struct StreamingEstimator::Impl {
 StreamingEstimator::StreamingEstimator(const linalg::CsrMatrix& routing,
                                        std::size_t nodes,
                                        StreamingOptions options,
-                                       EstimateCallback onEstimate)
-    : impl_(std::make_unique<Impl>(routing, nodes, std::move(options),
-                                   std::move(onEstimate))) {
+                                       EstimateCallback onEstimate) {
+  // The flag is read before `options` is moved into the Impl.
+  auto system = std::make_shared<core::AugmentedTmSystem>(
+      routing, nodes, options.estimation.useMarginalConstraints);
+  impl_ = std::make_unique<Impl>(std::move(system), std::move(options),
+                                 std::move(onEstimate));
+  initialize();
+}
+
+StreamingEstimator::StreamingEstimator(
+    std::shared_ptr<const core::AugmentedTmSystem> system,
+    StreamingOptions options, EstimateCallback onEstimate) {
+  ICTM_REQUIRE(system != nullptr, "augmented system is null");
+  impl_ = std::make_unique<Impl>(std::move(system), std::move(options),
+                                 std::move(onEstimate));
+  initialize();
+}
+
+void StreamingEstimator::initialize() {
   StreamingOptions& opts = impl_->options;
+  const std::size_t nodes = impl_->n;
   ICTM_REQUIRE(impl_->callback != nullptr, "estimate callback is null");
   ICTM_REQUIRE(opts.queueCapacity > 0, "queue capacity must be positive");
   ICTM_REQUIRE(opts.f > 0.0 && opts.f < 1.0, "f must be in (0, 1)");
@@ -195,9 +215,32 @@ StreamingEstimator::StreamingEstimator(const linalg::CsrMatrix& routing,
   ICTM_REQUIRE(opts.preference.size() == nodes,
                "preference length mismatch");
 
-  impl_->currentModel = BuildPriorModel(opts.f, opts.preference, nodes);
-  impl_->windowIngress.assign(nodes, 0.0);
-  impl_->windowEgress.assign(nodes, 0.0);
+  if (opts.resume) {
+    // Resume mid-stream: rebuild the prior model the original run held
+    // at the checkpoint boundary (BuildPriorModel is deterministic, so
+    // the rebuilt operators are bit-identical) and continue sequence
+    // numbering where the checkpoint left off.
+    const StreamingCheckpoint& cp = *opts.resume;
+    ICTM_REQUIRE(cp.preference.size() == nodes,
+                 "checkpoint preference length mismatch");
+    ICTM_REQUIRE(cp.windowIngress.size() == nodes &&
+                     cp.windowEgress.size() == nodes,
+                 "checkpoint window accumulator length mismatch");
+    ICTM_REQUIRE(opts.window == 0 || cp.windowFill < opts.window,
+                 "checkpoint window fill exceeds the window");
+    impl_->currentModel = BuildPriorModel(opts.f, cp.preference, nodes);
+    impl_->windowIngress = cp.windowIngress;
+    impl_->windowEgress = cp.windowEgress;
+    impl_->windowFill = cp.windowFill;
+    const auto seq = static_cast<std::size_t>(cp.seq);
+    impl_->pushed.store(seq);
+    impl_->emitted.store(seq);
+    impl_->nextEmit = seq;
+  } else {
+    impl_->currentModel = BuildPriorModel(opts.f, opts.preference, nodes);
+    impl_->windowIngress.assign(nodes, 0.0);
+    impl_->windowEgress.assign(nodes, 0.0);
+  }
 
   const std::size_t workers = ResolveThreadCount(opts.threads);
   impl_->workers.reserve(workers);
@@ -217,7 +260,7 @@ StreamingEstimator::~StreamingEstimator() {
 
 void StreamingEstimator::push(BinEvent event) {
   Impl& im = *impl_;
-  ICTM_REQUIRE(event.linkLoads.size() == im.system.linkCount(),
+  ICTM_REQUIRE(event.linkLoads.size() == im.system->linkCount(),
                "link load length mismatch");
   ICTM_REQUIRE(event.ingress.size() == im.n && event.egress.size() == im.n,
                "marginal length mismatch");
@@ -288,6 +331,21 @@ void StreamingEstimator::finish() {
 
 std::size_t StreamingEstimator::pushedCount() const noexcept {
   return impl_->pushed.load();
+}
+
+StreamingCheckpoint StreamingEstimator::checkpoint() const {
+  Impl& im = *impl_;
+  // The producer-side state is only written inside push() under
+  // queueMutex; taking the same lock gives a consistent snapshot at
+  // the current push boundary.
+  std::lock_guard<std::mutex> lock(im.queueMutex);
+  StreamingCheckpoint cp;
+  cp.seq = im.pushed.load();
+  cp.preference = im.currentModel->preference;
+  cp.windowIngress = im.windowIngress;
+  cp.windowEgress = im.windowEgress;
+  cp.windowFill = im.windowFill;
+  return cp;
 }
 
 std::size_t StreamingEstimator::emittedCount() const noexcept {

@@ -28,8 +28,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/estimation.hpp"
@@ -45,6 +47,21 @@ struct BinEvent {
   std::vector<double> linkLoads;  ///< length = routing rows
   std::vector<double> ingress;    ///< length n, X_i*
   std::vector<double> egress;     ///< length n, X_*j
+};
+
+/// Producer-side state of a streaming run at a bin boundary: enough
+/// to rebuild the prior model and window accumulators so a new
+/// StreamingEstimator resumed from it reproduces bins [seq, ...)
+/// bit for bit (the state is a pure function of the pushed prefix,
+/// and every estimate is a pure function of the state plus its bin).
+/// Captured by StreamingEstimator::checkpoint(); persisted by the
+/// estimation server's checkpoint store (server/checkpoint.hpp).
+struct StreamingCheckpoint {
+  std::uint64_t seq = 0;         ///< bins pushed when captured
+  linalg::Vector preference;     ///< preference of the active prior model
+  linalg::Vector windowIngress;  ///< window ingress-marginal accumulator
+  linalg::Vector windowEgress;   ///< window egress-marginal accumulator
+  std::size_t windowFill = 0;    ///< bins accumulated into the window
 };
 
 /// Configuration of the streaming estimator.
@@ -65,6 +82,12 @@ struct StreamingOptions {
   /// Inner solver knobs; `estimation.threads` is ignored (the worker
   /// pool replaces the per-series fan-out).
   core::EstimationOptions estimation;
+  /// Resume from a captured checkpoint instead of bin 0: sequence
+  /// numbers continue at `resume->seq`, the prior model is rebuilt
+  /// from the checkpointed preference (bit-identical to the model the
+  /// original run held at that boundary), and `preference`/`f` above
+  /// still describe the *initial* model the checkpoint descends from.
+  std::optional<StreamingCheckpoint> resume;
 };
 
 /// Consumes bin events and emits TM estimates in arrival order.
@@ -79,6 +102,12 @@ class StreamingEstimator {
 
   /// Compresses the augmented system and starts the worker pool.
   StreamingEstimator(const linalg::CsrMatrix& routing, std::size_t nodes,
+                     StreamingOptions options, EstimateCallback onEstimate);
+  /// Same, but over a caller-shared augmented system (which the
+  /// estimator keeps alive), so many estimators on the same topology
+  /// pay the compression and the backends' per-system setup once —
+  /// the estimation server's per-topology state cache feeds this.
+  StreamingEstimator(std::shared_ptr<const core::AugmentedTmSystem> system,
                      StreamingOptions options, EstimateCallback onEstimate);
   /// Drains and joins (finish() fallback; errors are swallowed — call
   /// finish() explicitly to observe them).
@@ -102,7 +131,16 @@ class StreamingEstimator {
   /// Bins already handed to the callback.
   std::size_t emittedCount() const noexcept;
 
+  /// Captures the producer-side state at the current push boundary
+  /// (`seq` = pushedCount()).  Call between pushes from the producer
+  /// thread; a StreamingEstimator constructed with the returned state
+  /// in `StreamingOptions::resume` and fed the same bins from `seq`
+  /// onward emits bit-identical (estimate, prior) pairs.
+  StreamingCheckpoint checkpoint() const;
+
  private:
+  void initialize();
+
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };

@@ -213,8 +213,7 @@ TEST(ScenarioRun, WriteResultFilesEmitsParsableFilesAndManifest) {
   const auto ctx = TinyContext();
   const auto results =
       scenario::RunScenarios({"fig2_example", "dof_table"}, ctx, 2);
-  const std::string dir =
-      ::testing::TempDir() + "/ictm_scenario_results";
+  const std::string dir = test::TempPath("ictm_scenario_results");
   scenario::WriteResultFiles(results, ctx, dir);
 
   for (const char* name : {"fig2_example", "dof_table"}) {

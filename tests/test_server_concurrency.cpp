@@ -1,0 +1,247 @@
+// Concurrency battery for the estimation server: N simultaneous
+// sessions over mixed topologies and thread counts must each produce
+// estimate frames bit-identical to their single-process `ictm stream`
+// baseline, sharing per-topology state through the cache; and a slow
+// reader must stall only its own session.  Runs under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/estimation.hpp"
+#include "server/client.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "stream/online.hpp"
+#include "test_util.hpp"
+#include "topology/registry.hpp"
+#include "topology/routing.hpp"
+
+namespace ictm::server {
+namespace {
+
+/// One session's worth of workload plus its expected wire bytes.
+struct SessionPlan {
+  std::string spec;
+  std::uint64_t seed = 0;
+  std::uint32_t threads = 1;
+  std::uint64_t window = 0;
+  std::uint64_t trafficSeed = 0;
+  std::size_t bins = 0;
+
+  std::size_t nodes = 0;
+  traffic::TrafficMatrixSeries truth{1, 1, 300.0};  // placeholder; prepare() fills it
+  std::vector<std::vector<std::uint8_t>> expected;
+
+  /// Computes the `ictm stream` baseline and encodes it exactly as
+  /// the server would frame it.
+  void prepare() {
+    const topology::Graph graph = topology::MakeTopology(spec, seed);
+    nodes = graph.nodeCount();
+    truth = test::RandomSeries(nodes, bins, trafficSeed);
+    const linalg::CsrMatrix routing = topology::BuildRoutingCsr(graph);
+    stream::StreamingOptions options;
+    options.threads = 1;
+    options.window = window;
+    options.f = 0.3;
+    const stream::StreamingRunResult run =
+        stream::EstimateSeriesStreaming(routing, truth, options);
+    expected.reserve(bins);
+    for (std::size_t t = 0; t < bins; ++t) {
+      expected.push_back(EncodeEstimatePayload(
+          t, run.estimates.binData(t), run.priors.binData(t), nodes));
+    }
+  }
+
+  HelloRequest hello() const {
+    HelloRequest h;
+    h.topologySpec = spec;
+    h.topologySeed = seed;
+    h.f = 0.3;
+    h.window = window;
+    h.threads = threads;
+    h.queueCapacity = 8;
+    return h;
+  }
+};
+
+SessionPlan MakePlan(const std::string& spec, std::uint32_t threads,
+                     std::uint64_t window, std::uint64_t trafficSeed,
+                     std::size_t bins) {
+  SessionPlan plan;
+  plan.spec = spec;
+  plan.threads = threads;
+  plan.window = window;
+  plan.trafficSeed = trafficSeed;
+  plan.bins = bins;
+  plan.prepare();
+  return plan;
+}
+
+ClientConfig ConfigFor(const Server& server, const SessionPlan& plan) {
+  ClientConfig config;
+  config.endpoint = server.endpoint();
+  config.hello = plan.hello();
+  return config;
+}
+
+Client::BinSource SourceFor(const SessionPlan& plan) {
+  return [&plan](std::uint64_t seq) {
+    return plan.truth.binData(static_cast<std::size_t>(seq));
+  };
+}
+
+TEST(ServerConcurrency, MixedSessionsBitIdenticalToStreamBaseline) {
+  // Two topologies, thread counts {1, 4}, two sessions sharing each
+  // topology so the cache serves hits as well as misses.
+  std::vector<SessionPlan> plans;
+  plans.push_back(MakePlan("abilene11", 1, 4, 101, 12));
+  plans.push_back(MakePlan("abilene11", 4, 4, 102, 12));
+  plans.push_back(MakePlan("ring:8:2", 4, 3, 103, 10));
+  plans.push_back(MakePlan("ring:8:2", 1, 3, 104, 10));
+  plans.push_back(MakePlan("grid:3x3", 4, 0, 105, 8));
+
+  ServerOptions options;
+  ASSERT_TRUE(
+      Endpoint::Parse(test::TempPath("concurrency.sock"), &options.listen));
+  options.cacheCapacity = 4;
+  Server server(options);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  std::vector<ClientResult> results(plans.size());
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(plans.size());
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      clients.emplace_back([&, i] {
+        results[i] = Client::Run(ConfigFor(server, plans[i]), plans[i].bins,
+                                 SourceFor(plans[i]));
+      });
+    }
+    for (auto& thread : clients) thread.join();
+  }
+
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    const ClientResult& result = results[i];
+    ASSERT_TRUE(result.finished)
+        << "session " << i << ": " << result.transportError
+        << (result.serverError ? " / " + result.serverError->message : "");
+    EXPECT_EQ(result.nodes, plans[i].nodes);
+    ASSERT_EQ(result.estimatePayloads.size(), plans[i].expected.size())
+        << "session " << i;
+    for (std::size_t t = 0; t < plans[i].expected.size(); ++t) {
+      ASSERT_EQ(result.estimatePayloads[t], plans[i].expected[t])
+          << "session " << i << " estimate frame " << t
+          << " differs from the ictm stream baseline";
+    }
+  }
+
+  // Three distinct (spec, seed) keys, five sessions: the cache must
+  // have built each topology exactly once.
+  const TopologyStateCache::Stats stats = server.cacheStats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(server.sessionsAccepted(), plans.size());
+  server.stop();
+}
+
+TEST(ServerConcurrency, SlowReaderStallsOnlyItsOwnSession) {
+  // Small socket buffers and a tiny output queue so a non-reading
+  // client exhausts every elastic stage of its own pipeline while the
+  // streams next to it run to completion.
+  const SessionPlan slowPlan = MakePlan("abilene11", 2, 4, 201, 96);
+  const SessionPlan fastA = MakePlan("abilene11", 1, 4, 202, 24);
+  const SessionPlan fastB = MakePlan("ring:6", 2, 3, 203, 24);
+
+  ServerOptions options;
+  ASSERT_TRUE(
+      Endpoint::Parse(test::TempPath("slow_reader.sock"), &options.listen));
+  options.limits.outputQueueCapacity = 2;
+  options.limits.socketBufferBytes = 4096;
+  Server server(options);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // The slow client's estimate hook blocks on a gate after the first
+  // frame; because the hook runs on the client's receiver thread, the
+  // client stops reading and backpressure propagates through the
+  // server's writer, output queue, estimator and reader — all scoped
+  // to this one session.
+  std::mutex gateMutex;
+  std::condition_variable gateCv;
+  bool gateOpen = false;
+  std::size_t slowFramesSeen = 0;
+
+  ClientResult slowResult;
+  std::thread slowThread([&] {
+    ClientConfig config = ConfigFor(server, slowPlan);
+    config.socketBufferBytes = 4096;
+    slowResult = Client::Run(
+        config, slowPlan.bins, SourceFor(slowPlan),
+        [&](std::uint64_t, const std::vector<std::uint8_t>&) {
+          std::unique_lock<std::mutex> lock(gateMutex);
+          ++slowFramesSeen;
+          gateCv.wait(lock, [&] { return gateOpen; });
+        });
+  });
+
+  // Both fast sessions run start-to-finish while the slow session is
+  // gated.  Their completion is the isolation proof: Run() returning
+  // with finished=true means FIN_ACK made it through a server whose
+  // sibling session is fully stalled.
+  ClientResult fastResults[2];
+  std::thread fastThreadA([&] {
+    fastResults[0] = Client::Run(ConfigFor(server, fastA), fastA.bins,
+                                 SourceFor(fastA));
+  });
+  std::thread fastThreadB([&] {
+    fastResults[1] = Client::Run(ConfigFor(server, fastB), fastB.bins,
+                                 SourceFor(fastB));
+  });
+  fastThreadA.join();
+  fastThreadB.join();
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(fastResults[i].finished)
+        << fastResults[i].transportError;
+  }
+
+  // The gated session cannot have completed: its hook has run at most
+  // once, so at most one estimate frame ever left its reorder buffer.
+  {
+    std::lock_guard<std::mutex> lock(gateMutex);
+    EXPECT_LE(slowFramesSeen, 1u);
+    gateOpen = true;
+  }
+  gateCv.notify_all();
+  slowThread.join();
+
+  // Once released, the stalled session drains losslessly and remains
+  // bit-identical — backpressure never dropped or reordered a frame.
+  ASSERT_TRUE(slowResult.finished)
+      << slowResult.transportError
+      << (slowResult.serverError ? " / " + slowResult.serverError->message
+                                 : "");
+  ASSERT_EQ(slowResult.estimatePayloads.size(), slowPlan.expected.size());
+  for (std::size_t t = 0; t < slowPlan.expected.size(); ++t) {
+    ASSERT_EQ(slowResult.estimatePayloads[t], slowPlan.expected[t])
+        << "estimate frame " << t;
+  }
+  for (int i = 0; i < 2; ++i) {
+    const SessionPlan& plan = i == 0 ? fastA : fastB;
+    ASSERT_EQ(fastResults[i].estimatePayloads.size(), plan.expected.size());
+    for (std::size_t t = 0; t < plan.expected.size(); ++t) {
+      ASSERT_EQ(fastResults[i].estimatePayloads[t], plan.expected[t])
+          << "fast session " << i << " estimate frame " << t;
+    }
+  }
+  server.stop();
+}
+
+}  // namespace
+}  // namespace ictm::server

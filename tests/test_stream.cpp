@@ -23,37 +23,12 @@
 namespace ictm::stream {
 namespace {
 
-std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
-}
-
-traffic::TrafficMatrixSeries RandomSeries(std::size_t nodes,
-                                          std::size_t bins,
-                                          std::uint64_t seed) {
-  stats::Rng rng(seed);
-  traffic::TrafficMatrixSeries s(nodes, bins, 300.0);
-  for (std::size_t t = 0; t < bins; ++t) {
-    double* bin = s.binData(t);
-    for (std::size_t k = 0; k < nodes * nodes; ++k) {
-      bin[k] = rng.uniform(0.0, 1e9);
-    }
-  }
-  return s;
-}
-
-void ExpectBitIdentical(const traffic::TrafficMatrixSeries& a,
-                        const traffic::TrafficMatrixSeries& b) {
-  ASSERT_EQ(a.nodeCount(), b.nodeCount());
-  ASSERT_EQ(a.binCount(), b.binCount());
-  const std::size_t n2 = a.nodeCount() * a.nodeCount();
-  for (std::size_t t = 0; t < a.binCount(); ++t) {
-    const double* pa = a.binData(t);
-    const double* pb = b.binData(t);
-    for (std::size_t k = 0; k < n2; ++k) {
-      ASSERT_EQ(pa[k], pb[k]) << "bin " << t << " element " << k;
-    }
-  }
-}
+// Temp paths, trace fixtures and the bit-identity assertion live in
+// tests/test_util.hpp, shared with the scenario, topology-format and
+// server suites.
+using test::ExpectBitIdentical;
+using test::RandomSeries;
+using test::TempPath;
 
 // ---- binary format ---------------------------------------------------------
 

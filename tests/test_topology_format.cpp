@@ -9,6 +9,7 @@
 #include "core/estimation.hpp"
 #include "core/gravity.hpp"
 #include "stats/rng.hpp"
+#include "test_util.hpp"
 #include "topology/generators.hpp"
 #include "topology/ictp.hpp"
 #include "topology/registry.hpp"
@@ -143,7 +144,7 @@ TEST(IctpWrite, FoldsBidirectionalPairsOnly) {
 }
 
 TEST(IctpWrite, FileRoundTrip) {
-  const std::string path = ::testing::TempDir() + "/ictm_roundtrip.ictp";
+  const std::string path = test::TempPath("ictm_roundtrip.ictp");
   const Graph g = MakeAbilene11();
   WriteIctpFile(path, g);
   const Graph parsed = ReadIctpFile(path);
@@ -256,7 +257,7 @@ TEST(Registry, RejectsMalformedSpecs) {
 }
 
 TEST(Registry, ResolvesIctpFiles) {
-  const std::string path = ::testing::TempDir() + "/ictm_registry.ictp";
+  const std::string path = test::TempPath("ictm_registry.ictp");
   {
     std::ofstream os(path);
     os << "ictp 1\nnode x\nnode y\nnode z\nbilink x y 1\nbilink y z 1\n";

@@ -2,12 +2,57 @@
 #pragma once
 
 #include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <string>
 
 #include "linalg/matrix.hpp"
 #include "stats/rng.hpp"
 #include "traffic/tm_series.hpp"
 
 namespace ictm::test {
+
+/// Path of a scratch file under gtest's temp directory.  The name is
+/// prefixed with the pid: parallel ctest runs each test case as its
+/// own process from the same binary, so a bare name would make
+/// concurrent cases collide on sockets and checkpoint directories.
+inline std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/ictm-" + std::to_string(::getpid()) + "-" +
+         name;
+}
+
+/// Deterministic random TM series (entries uniform in [0, 1e9),
+/// binSeconds 300) — the standard trace fixture of the stream and
+/// server suites.
+inline traffic::TrafficMatrixSeries RandomSeries(std::size_t nodes,
+                                                 std::size_t bins,
+                                                 std::uint64_t seed) {
+  stats::Rng rng(seed);
+  traffic::TrafficMatrixSeries s(nodes, bins, 300.0);
+  for (std::size_t t = 0; t < bins; ++t) {
+    double* bin = s.binData(t);
+    for (std::size_t k = 0; k < nodes * nodes; ++k) {
+      bin[k] = rng.uniform(0.0, 1e9);
+    }
+  }
+  return s;
+}
+
+/// Asserts two TM series are equal to the last bit — the determinism
+/// contract every streaming/server surface is held to.
+inline void ExpectBitIdentical(const traffic::TrafficMatrixSeries& a,
+                               const traffic::TrafficMatrixSeries& b) {
+  ASSERT_EQ(a.nodeCount(), b.nodeCount());
+  ASSERT_EQ(a.binCount(), b.binCount());
+  const std::size_t n2 = a.nodeCount() * a.nodeCount();
+  for (std::size_t t = 0; t < a.binCount(); ++t) {
+    const double* pa = a.binData(t);
+    const double* pb = b.binData(t);
+    for (std::size_t k = 0; k < n2; ++k) {
+      ASSERT_EQ(pa[k], pb[k]) << "bin " << t << " element " << k;
+    }
+  }
+}
 
 /// Random matrix with entries uniform in [lo, hi).
 inline linalg::Matrix RandomMatrix(std::size_t rows, std::size_t cols,

@@ -16,6 +16,11 @@
 //   stream      online estimation of a trace (ictmb or CSV) through the
 //               streaming subsystem: bounded queue, worker pool,
 //               sliding-window prior re-fit
+//   serve       long-running estimation server: concurrent client
+//               sessions over unix/TCP sockets, shared per-topology
+//               state, durable checkpoints for lossless restart
+//   client      drive one session against a running server from a
+//               trace file; output matches `ictm stream` byte for byte
 //   convert     convert between the TM CSV format and the ictmb
 //               chunked binary trace format (direction auto-detected)
 //   topo        topology workbench: list the registry, show stats,
@@ -47,6 +52,10 @@
 #include <string>
 #include <vector>
 
+#include <csignal>
+
+#include <unistd.h>
+
 #include "common/parallel.hpp"
 #include "conngen/fmeasure.hpp"
 #include "conngen/packet_trace.hpp"
@@ -58,6 +67,8 @@
 #include "core/priors.hpp"
 #include "core/synthesis.hpp"
 #include "scenario/scenario.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
 #include "stream/format.hpp"
 #include "stream/online.hpp"
 #include "topology/ictp.hpp"
@@ -143,6 +154,43 @@ int Usage() {
                "                    DIR/priors.ictmb\n"
                "      --solver K    normal-equations backend (auto\n"
                "                    picks by problem size; default)\n"
+               "  ictm serve --listen SPEC [--checkpoint-dir DIR]\n"
+               "           [--checkpoint-every K] [--cache N]\n"
+               "           [--max-threads N] [--queue C]\n"
+               "      long-running estimation server; SPEC is\n"
+               "      unix:/path.sock or tcp:host:port (port 0 picks\n"
+               "      an ephemeral port, printed on startup); runs\n"
+               "      until SIGINT/SIGTERM\n"
+               "      --checkpoint-dir DIR  durable session checkpoints\n"
+               "                    (enables client --resume)\n"
+               "      --checkpoint-every K  checkpoint period in bins\n"
+               "                    (default 16)\n"
+               "      --cache N     resident shared-topology entries\n"
+               "                    (default 4, LRU beyond that)\n"
+               "      --max-threads N  per-session worker cap\n"
+               "                    (default 4)\n"
+               "      --queue C     per-session outbound frame queue\n"
+               "                    capacity (default 16)\n"
+               "  ictm client <trace.ictmb|tm.csv> --connect SPEC\n"
+               "           [--topology T] [--seed S] [--threads N]\n"
+               "           [--window W] [--queue C] [--f F]\n"
+               "           [--solver dense|sparse|cg|auto]\n"
+               "           [--session KEY] [--resume] [--have N]\n"
+               "           [--out DIR]\n"
+               "      stream a trace through a running server; same\n"
+               "      estimation options as `ictm stream`, and for the\n"
+               "      same trace/topology/options the outputs are\n"
+               "      byte-identical to `ictm stream`\n"
+               "      --session KEY  name the session so the server\n"
+               "                    checkpoints it durably\n"
+               "      --resume      continue a named session from the\n"
+               "                    server's last checkpoint\n"
+               "      --have N      estimate frames already received in\n"
+               "                    earlier runs (re-sent ones are\n"
+               "                    discarded; --out then holds the\n"
+               "                    tail from frame N on)\n"
+               "      --out DIR     write DIR/estimates.ictmb and\n"
+               "                    DIR/priors.ictmb\n"
                "  ictm convert <in> <out> [--chunk K]\n"
                "      convert TM CSV -> ictmb binary trace or back\n"
                "      (direction auto-detected from the input magic);\n"
@@ -661,6 +709,223 @@ int CmdStream(int argc, char** argv) {
   return 0;
 }
 
+// Self-pipe for `ictm serve` shutdown: the signal handler may only
+// touch async-signal-safe calls, so it writes one byte and the main
+// thread does the actual Server::stop().
+int g_serveStopPipe[2] = {-1, -1};
+
+void ServeStopHandler(int) {
+  const char byte = 1;
+  [[maybe_unused]] const long n = write(g_serveStopPipe[1], &byte, 1);
+}
+
+int CmdServe(int argc, char** argv) {
+  std::string listenSpec;
+  server::ServerOptions options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--listen" && i + 1 < argc) {
+      listenSpec = argv[++i];
+    } else if (arg == "--checkpoint-dir" && i + 1 < argc) {
+      options.checkpointDir = argv[++i];
+    } else if (arg == "--checkpoint-every" && i + 1 < argc) {
+      options.limits.checkpointEvery =
+          ParseSize(argv[++i], "checkpoint-every", 1, 1 << 20);
+    } else if (arg == "--cache" && i + 1 < argc) {
+      options.cacheCapacity = ParseSize(argv[++i], "cache", 1, 1 << 10);
+    } else if (arg == "--max-threads" && i + 1 < argc) {
+      options.limits.maxThreads =
+          ParseSize(argv[++i], "max-threads", 1, 4096);
+    } else if (arg == "--queue" && i + 1 < argc) {
+      options.limits.outputQueueCapacity =
+          ParseSize(argv[++i], "queue", 1, 1 << 20);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (listenSpec.empty()) return Usage();
+  if (!server::Endpoint::Parse(listenSpec, &options.listen)) {
+    throw UsageError("bad --listen spec (unix:/path or tcp:host:port): " +
+                     listenSpec);
+  }
+
+  server::Server srv(options);
+  std::string error;
+  if (!srv.start(&error)) {
+    std::fprintf(stderr, "error: cannot listen on %s: %s\n",
+                 listenSpec.c_str(), error.c_str());
+    return 1;
+  }
+  // Startup line is the readiness signal scripts wait for; flush it.
+  std::printf("listening on %s%s\n", srv.endpoint().describe().c_str(),
+              options.checkpointDir.empty()
+                  ? ""
+                  : (" (checkpoints: " + options.checkpointDir + ")")
+                        .c_str());
+  std::fflush(stdout);
+
+  ICTM_REQUIRE(pipe(g_serveStopPipe) == 0, "cannot create stop pipe");
+  struct sigaction sa = {};
+  sa.sa_handler = ServeStopHandler;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  char byte = 0;
+  while (read(g_serveStopPipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::printf("shutting down\n");
+  srv.stop();
+  const auto stats = srv.cacheStats();
+  std::printf("served %zu session(s); topology cache: %zu hit(s), %zu "
+              "miss(es), %zu eviction(s)\n",
+              srv.sessionsAccepted(), stats.hits, stats.misses,
+              stats.evictions);
+  return 0;
+}
+
+// The client-side analogue of TopologyByName: "auto" maps the node
+// count to a canned registry spec that can be sent over the wire (the
+// server resolves specs, not CLI conveniences).
+std::string TopologySpecByNodes(const std::string& name, std::size_t nodes) {
+  if (name != "auto") return name;
+  if (nodes == 22) return "geant22";
+  if (nodes == 23) return "totem23";
+  if (nodes == 11) return "abilene11";
+  throw UsageError("no canned topology has " + std::to_string(nodes) +
+                   " nodes; pass --topology with a registry spec or "
+                   ".ictp file");
+}
+
+int CmdClient(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string inPath = argv[2];
+  std::string connectSpec;
+  std::string topoName = "auto";
+  std::string outDir;
+  server::ClientConfig config;
+  std::size_t threadsOpt = 0;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      connectSpec = argv[++i];
+    } else if (arg == "--topology" && i + 1 < argc) {
+      topoName = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      config.hello.topologySeed = static_cast<std::uint64_t>(ParseSize(
+          argv[++i], "seed", 0, std::numeric_limits<long>::max()));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threadsOpt = ParseThreads(argv[++i]);
+    } else if (arg == "--window" && i + 1 < argc) {
+      config.hello.window = ParseSize(argv[++i], "window", 0, 1 << 20);
+    } else if (arg == "--queue" && i + 1 < argc) {
+      config.hello.queueCapacity = static_cast<std::uint32_t>(
+          ParseSize(argv[++i], "queue", 1, 1 << 20));
+    } else if (arg == "--f" && i + 1 < argc) {
+      config.hello.f = ParseDouble(argv[++i], "f");
+    } else if (arg == "--solver" && i + 1 < argc) {
+      config.hello.solver = ParseSolver(argv[++i]);
+    } else if (arg == "--session" && i + 1 < argc) {
+      config.hello.sessionKey = argv[++i];
+    } else if (arg == "--resume") {
+      config.hello.resume = true;
+    } else if (arg == "--have" && i + 1 < argc) {
+      config.hello.clientFrames = static_cast<std::uint64_t>(ParseSize(
+          argv[++i], "have", 0, std::numeric_limits<long>::max()));
+    } else if (arg == "--out" && i + 1 < argc) {
+      outDir = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (connectSpec.empty()) return Usage();
+  if (!server::Endpoint::Parse(connectSpec, &config.endpoint)) {
+    throw UsageError("bad --connect spec (unix:/path or tcp:host:port): " +
+                     connectSpec);
+  }
+  if (config.hello.resume && config.hello.sessionKey.empty()) {
+    throw UsageError("--resume requires --session KEY");
+  }
+
+  // The whole series is held in memory: resume re-sends bins from the
+  // server's checkpoint, which needs random access by sequence number.
+  const traffic::TrafficMatrixSeries truth =
+      stream::IsTraceFile(inPath) ? stream::ReadTraceFile(inPath)
+                                  : traffic::ReadCsvFile(inPath);
+  const std::size_t nodes = truth.nodeCount();
+  config.hello.topologySpec = TopologySpecByNodes(topoName, nodes);
+  config.hello.threads = static_cast<std::uint32_t>(
+      std::min<std::size_t>(ResolveThreadCount(threadsOpt), 4096));
+
+  std::printf("session to %s: %zu bins x %zu nodes, topology %s, "
+              "%u thread(s)%s%s\n",
+              connectSpec.c_str(), truth.binCount(), nodes,
+              config.hello.topologySpec.c_str(), config.hello.threads,
+              config.hello.sessionKey.empty() ? "" : ", session ",
+              config.hello.sessionKey.c_str());
+
+  // Frames arrive strictly in order, so the writers can append as the
+  // receiver thread decodes; estimates/priors land exactly as `ictm
+  // stream --out` writes them.
+  std::optional<stream::TraceWriter> estWriter, priorWriter;
+  if (!outDir.empty()) {
+    std::filesystem::create_directories(outDir);
+    estWriter.emplace(outDir + "/estimates.ictmb", nodes,
+                      truth.binSeconds());
+    priorWriter.emplace(outDir + "/priors.ictmb", nodes,
+                        truth.binSeconds());
+  }
+  std::vector<double> estimate(nodes * nodes), prior(nodes * nodes);
+  const server::ClientResult result = server::Client::Run(
+      config, truth.binCount(),
+      [&](std::uint64_t seq) {
+        return truth.binData(static_cast<std::size_t>(seq));
+      },
+      [&](std::uint64_t, const std::vector<std::uint8_t>& payload) {
+        if (!estWriter) return;
+        std::uint64_t seq = 0;
+        if (server::DecodeEstimatePayload(payload, nodes, &seq,
+                                          estimate.data(), prior.data())) {
+          estWriter->append(estimate.data());
+          priorWriter->append(prior.data());
+        }
+      });
+
+  // Close even on failure: the partial ictmb stays valid, and the
+  // printed frame count is exactly what a retry passes via --have.
+  if (estWriter) {
+    estWriter->close();
+    priorWriter->close();
+  }
+  if (!result.finished) {
+    if (result.serverError.has_value()) {
+      std::fprintf(stderr, "error: server refused: [%s] %s\n",
+                   server::ErrorCodeName(result.serverError->code),
+                   result.serverError->message.c_str());
+    }
+    if (!result.transportError.empty()) {
+      std::fprintf(stderr, "error: %s\n", result.transportError.c_str());
+    }
+    std::fprintf(stderr,
+                 "session incomplete after %zu new frame(s); retry with "
+                 "--resume --have %llu to continue\n",
+                 result.estimatePayloads.size(),
+                 static_cast<unsigned long long>(
+                     config.hello.clientFrames +
+                     result.estimatePayloads.size()));
+    return 1;
+  }
+  std::printf("received %zu estimate frame(s) (server resumed from bin "
+              "%llu)\n",
+              result.estimatePayloads.size(),
+              static_cast<unsigned long long>(result.resumeFrom));
+  if (estWriter) {
+    std::printf("wrote %s/estimates.ictmb and %s/priors.ictmb\n",
+                outDir.c_str(), outDir.c_str());
+  }
+  return 0;
+}
+
 int CmdConvert(int argc, char** argv) {
   if (argc < 4) return Usage();
   const std::string inPath = argv[2];
@@ -858,6 +1123,8 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "estimate") == 0)
       return CmdEstimate(argc, argv);
     if (std::strcmp(argv[1], "stream") == 0) return CmdStream(argc, argv);
+    if (std::strcmp(argv[1], "serve") == 0) return CmdServe(argc, argv);
+    if (std::strcmp(argv[1], "client") == 0) return CmdClient(argc, argv);
     if (std::strcmp(argv[1], "convert") == 0)
       return CmdConvert(argc, argv);
     if (std::strcmp(argv[1], "topo") == 0) return CmdTopo(argc, argv);

@@ -16,7 +16,8 @@ the constructs that break the contract in ways a lucky schedule hides:
              Timing for the out-of-band notes channel goes through
              scenario::StartTimer/SecondsSince, which are allowlisted.
   ICTM-D003  float-typed storage in estimation paths (src/core,
-             src/linalg, src/stream, src/timeseries, src/traffic) —
+             src/linalg, src/server, src/stream, src/timeseries,
+             src/traffic) —
              fp32 accumulation changes results across compilers and
              vector widths; accumulate in double.
   ICTM-D004  static mutable locals / globals ("static T x;" without
@@ -65,7 +66,8 @@ RULES = {
 # Directories (relative to the repo root) whose floating-point code is
 # part of the estimation contract — ICTM-D003 applies only there.
 ESTIMATION_DIRS = (
-    "src/core", "src/linalg", "src/stream", "src/timeseries", "src/traffic",
+    "src/core", "src/linalg", "src/server", "src/stream", "src/timeseries",
+    "src/traffic",
 )
 
 UNORDERED_DECL = re.compile(

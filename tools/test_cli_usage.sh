@@ -63,6 +63,22 @@ expect_usage_error run fig2_example --seed -1
 expect_usage_error estimate "$WORK/tm.csv" --frobnicate
 expect_usage_error stream "$WORK/tm.csv" --frobnicate
 
+# The serve/client surfaces enforce the same option contract — in
+# particular the `--queue 0` class of bug is a usage error on every
+# surface that has a queue.
+expect_usage_error serve
+expect_usage_error serve --listen "bogus:spec"
+expect_usage_error serve --listen "unix:$WORK/s.sock" --queue 0
+expect_usage_error serve --listen "unix:$WORK/s.sock" --cache 0
+expect_usage_error serve --listen "unix:$WORK/s.sock" --checkpoint-every 0
+expect_usage_error serve --listen "unix:$WORK/s.sock" --frobnicate
+expect_usage_error client "$WORK/tm.csv"
+expect_usage_error client "$WORK/tm.csv" --connect "bogus:spec"
+expect_usage_error client "$WORK/tm.csv" --connect "unix:$WORK/s.sock" --queue 0
+expect_usage_error client "$WORK/tm.csv" --connect "unix:$WORK/s.sock" --resume
+expect_usage_error client "$WORK/tm.csv" --connect "unix:$WORK/s.sock" --threads abc
+expect_usage_error client "$WORK/tm.csv" --connect "unix:$WORK/s.sock" --frobnicate
+
 # Every valid solver value is accepted on each surface.
 for solver in auto dense sparse cg; do
   expect_ok estimate "$WORK/tm.csv" ring:6:2 1 0 --solver "$solver"
