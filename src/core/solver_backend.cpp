@@ -8,10 +8,43 @@
 #include "linalg/pcg.hpp"
 #include "linalg/sparse.hpp"
 #include "linalg/sparse_chol.hpp"
+#include "obs/metrics.hpp"
+#include "obs/now.hpp"
 
 namespace ictm::core {
 
 namespace {
+
+// One bin-solve per call, so per-backend solve counts are invariant
+// under the worker fan-out (deterministic class); the factor /
+// substitute split is wall time (timing class).
+void CountSolve(const char* counterName) {
+  static obs::Counter& dense = obs::GetCounter(
+      "solver.solves.dense", obs::MetricClass::kDeterministic);
+  static obs::Counter& sparse = obs::GetCounter(
+      "solver.solves.sparse", obs::MetricClass::kDeterministic);
+  static obs::Counter& cg = obs::GetCounter(
+      "solver.solves.cg", obs::MetricClass::kDeterministic);
+  if (counterName[0] == 'd') {
+    dense.add();
+  } else if (counterName[0] == 's') {
+    sparse.add();
+  } else {
+    cg.add();
+  }
+}
+
+obs::Counter& FactorNsCounter() {
+  static obs::Counter& c =
+      obs::GetCounter("solver.factor_ns", obs::MetricClass::kTiming);
+  return c;
+}
+
+obs::Counter& SubstituteNsCounter() {
+  static obs::Counter& c =
+      obs::GetCounter("solver.substitute_ns", obs::MetricClass::kTiming);
+  return c;
+}
 
 // The reference path: dense normal matrix + blocked in-place Cholesky,
 // exactly the floating-point sequence the estimator has always run —
@@ -29,6 +62,7 @@ class DenseBackend final : public SolverBackend {
   const char* name() const noexcept override { return "dense"; }
 
   void SolveNormal(const double* weights, double* rhs) override {
+    CountSolve(name());
     const std::size_t rows = system_.rowCount();
     linalg::WeightedGramInto(system_.matrix(), weights, m_);
     double trace = 0.0;
@@ -37,7 +71,17 @@ class DenseBackend final : public SolverBackend {
         std::max(trace, 1.0) * relativeRidge_ +
         1e-30;  // keep strictly positive even for an all-zero prior
     for (std::size_t r = 0; r < rows; ++r) m_[r * rows + r] += ridge;
-    linalg::CholeskySolveInPlace(m_, rhs, rows);
+    // Factor + substitute is exactly CholeskySolveInPlace (the split
+    // is the documented definition), timed per phase.
+    const bool recording = obs::Enabled();
+    const std::uint64_t t0 = recording ? obs::Now() : 0;
+    linalg::CholeskyFactorInPlace(m_, rows);
+    const std::uint64_t t1 = recording ? obs::Now() : 0;
+    linalg::CholeskySubstituteInPlace(m_, rhs, rows);
+    if (recording) {
+      FactorNsCounter().add(t1 - t0);
+      SubstituteNsCounter().add(obs::Now() - t1);
+    }
   }
 
  private:
@@ -63,8 +107,16 @@ class SparseBackend final : public SolverBackend {
   const char* name() const noexcept override { return "sparse"; }
 
   void SolveNormal(const double* weights, double* rhs) override {
+    CountSolve(name());
+    const bool recording = obs::Enabled();
+    const std::uint64_t t0 = recording ? obs::Now() : 0;
     solver_->Factor(weights, relativeRidge_);
+    const std::uint64_t t1 = recording ? obs::Now() : 0;
     solver_->Solve(rhs);
+    if (recording) {
+      FactorNsCounter().add(t1 - t0);
+      SubstituteNsCounter().add(obs::Now() - t1);
+    }
   }
 
  private:
@@ -89,6 +141,7 @@ class CgBackend final : public SolverBackend {
   const char* name() const noexcept override { return "cg"; }
 
   void SolveNormal(const double* weights, double* rhs) override {
+    CountSolve(name());
     const linalg::PcgResult result =
         solver_->Solve(weights, relativeRidge_, rhs);
     // The residual can floor out marginally above the tolerance along
@@ -121,7 +174,20 @@ SolverKind ResolveSolverKind(SolverKind requested,
 
 std::unique_ptr<SolverBackend> MakeSolverBackend(
     const AugmentedTmSystem& system, const EstimationOptions& options) {
-  switch (ResolveSolverKind(options.solver, system.rowCount())) {
+  const SolverKind resolved =
+      ResolveSolverKind(options.solver, system.rowCount());
+  // Auto-pick accounting.  Backends are constructed once per worker,
+  // so these counts scale with the thread fan-out — timing class, not
+  // deterministic (the per-bin solver.solves.* counters are the
+  // thread-invariant view).
+  if (options.solver == SolverKind::kAuto) {
+    static obs::Counter& autoDense = obs::GetCounter(
+        "solver.auto_picks.dense", obs::MetricClass::kTiming);
+    static obs::Counter& autoCg =
+        obs::GetCounter("solver.auto_picks.cg", obs::MetricClass::kTiming);
+    (resolved == SolverKind::kCg ? autoCg : autoDense).add();
+  }
+  switch (resolved) {
     case SolverKind::kSparse:
       return std::make_unique<SparseBackend>(system, options);
     case SolverKind::kCg:

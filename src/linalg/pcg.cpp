@@ -5,10 +5,37 @@
 
 #include "common/error.hpp"
 #include "linalg/lsq.hpp"
+#include "obs/metrics.hpp"
 
 namespace ictm::linalg {
 
 namespace {
+
+// Iteration/convergence accounting (ISSUE 8 satellite): the iteration
+// count and final residual of a solve are pure functions of the
+// inputs (the FP sequence is fixed), so these are deterministic-class
+// metrics — identical across thread counts for the same workload.
+void RecordPcgMetrics(const PcgResult& result) {
+  static obs::Counter& solves =
+      obs::GetCounter("pcg.solves", obs::MetricClass::kDeterministic);
+  static obs::Counter& iterationsTotal = obs::GetCounter(
+      "pcg.iterations_total", obs::MetricClass::kDeterministic);
+  static obs::Counter& converged =
+      obs::GetCounter("pcg.converged", obs::MetricClass::kDeterministic);
+  static obs::Counter& stalled =
+      obs::GetCounter("pcg.stalled", obs::MetricClass::kDeterministic);
+  static obs::Histogram& iterations = obs::GetHistogram(
+      "pcg.iterations", obs::MetricClass::kDeterministic,
+      obs::ExponentialBounds(1.0, 2.0, 12));
+  static obs::Histogram& residual = obs::GetHistogram(
+      "pcg.relative_residual", obs::MetricClass::kDeterministic,
+      obs::ExponentialBounds(1e-14, 10.0, 12));
+  solves.add();
+  iterationsTotal.add(static_cast<std::uint64_t>(result.iterations));
+  (result.converged ? converged : stalled).add();
+  iterations.record(static_cast<double>(result.iterations));
+  residual.record(result.relativeResidual);
+}
 
 double Dot(const double* a, const double* b, std::size_t n) {
   double acc = 0.0;
@@ -135,6 +162,7 @@ PcgResult NormalPcg::Solve(const double* weights, double relativeRidge,
   for (std::size_t i = 0; i < rows; ++i) bNormSq += d[i] * d[i];
   if (bNormSq == 0.0) {
     result.converged = true;
+    RecordPcgMetrics(result);
     return result;  // d is already the (zero) solution
   }
   const double stop = options.tolerance * std::sqrt(bNormSq);
@@ -194,6 +222,7 @@ PcgResult NormalPcg::Solve(const double* weights, double relativeRidge,
 
   std::copy(x_, x_ + rows, d);
   result.relativeResidual = resNorm / std::sqrt(bNormSq);
+  RecordPcgMetrics(result);
   return result;
 }
 

@@ -189,4 +189,29 @@ ClientResult Client::Run(const ClientConfig& config, std::uint64_t totalBins,
   return result;
 }
 
+bool Client::FetchStats(const Endpoint& endpoint, StatsReply* reply,
+                        std::string* error) {
+  Socket socket = Socket::Connect(endpoint, error);
+  if (!socket.valid()) return false;
+  if (!SendFrame(&socket, FrameType::kStats, {})) {
+    *error = "failed to send STATS";
+    return false;
+  }
+  FrameReader reader(&socket);
+  Frame frame;
+  if (!reader.next(kMaxHandshakeFrameBytes, &frame, error)) return false;
+  if (frame.type == FrameType::kError) {
+    ErrorInfo info;
+    *error = info.decode(frame.payload)
+                 ? "server refused STATS: " + info.message
+                 : "server refused STATS";
+    return false;
+  }
+  if (frame.type != FrameType::kStats || !reply->decode(frame.payload)) {
+    *error = "malformed STATS reply";
+    return false;
+  }
+  return true;
+}
+
 }  // namespace ictm::server

@@ -66,6 +66,13 @@ class Client {
   static ClientResult Run(const ClientConfig& config,
                           std::uint64_t totalBins, const BinSource& source,
                           const EstimateHook& hook = nullptr);
+
+  /// One-shot metrics probe (`ictm client --stats`): connects, sends
+  /// an empty STATS frame pre-handshake, decodes the server's
+  /// StatsReply.  False (with `*error` set) on refusal or transport
+  /// failure.
+  static bool FetchStats(const Endpoint& endpoint, StatsReply* reply,
+                         std::string* error);
 };
 
 }  // namespace ictm::server

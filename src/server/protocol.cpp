@@ -314,4 +314,35 @@ bool DecodeCountPayload(const std::vector<std::uint8_t>& payload,
   return c.atEnd();
 }
 
+std::vector<std::uint8_t> StatsReply::encode() const {
+  std::vector<std::uint8_t> out;
+  PutU32(out, static_cast<std::uint32_t>(entries.size()));
+  for (const auto& [name, value] : entries) {
+    PutU32(out, static_cast<std::uint32_t>(name.size()));
+    PutBytes(out, name.data(), name.size());
+    PutU64(out, value);
+  }
+  return out;
+}
+
+bool StatsReply::decode(const std::vector<std::uint8_t>& payload) {
+  Cursor c(payload);
+  const std::uint32_t count = c.getU32();
+  // The reply travels pre-handshake, so it must fit the handshake
+  // frame cap; reject counts that could not possibly (12 bytes is the
+  // smallest legal entry) before allocating.
+  if (count > kMaxHandshakeFrameBytes / 12) return false;
+  entries.clear();
+  entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t nameLen = c.getU32();
+    if (nameLen > kMaxHandshakeFrameBytes) return false;
+    std::string name = c.getString(nameLen);
+    const std::uint64_t value = c.getU64();
+    if (!c.ok()) return false;
+    entries.emplace_back(std::move(name), value);
+  }
+  return c.atEnd();
+}
+
 }  // namespace ictm::server

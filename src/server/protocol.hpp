@@ -53,6 +53,9 @@ enum class FrameType : std::uint8_t {
   kFin = 5,       ///< client → server: end of stream (total bin count)
   kFinAck = 6,    ///< server → client: every estimate emitted
   kError = 7,     ///< either direction: typed error, then teardown
+  kStats = 8,     ///< client → server: metrics snapshot request (empty
+                  ///< payload, pre-handshake only); server → client:
+                  ///< the StatsReply, after which the server closes
 };
 
 /// Typed error codes carried by kError frames.  Values are wire
@@ -191,5 +194,18 @@ std::vector<std::uint8_t> EncodeCountPayload(std::uint64_t count);
 /// Decodes a FIN / FIN_ACK payload; false on a size mismatch.
 bool DecodeCountPayload(const std::vector<std::uint8_t>& payload,
                         std::uint64_t* count);
+
+/// STATS payload — the server's flattened metrics snapshot
+/// (obs::MetricsSnapshot::flatten()): name-sorted (name, u64 value)
+/// pairs.  Wire format: u32 entry count, then per entry u32 name
+/// length + name bytes + u64 value.
+struct StatsReply {
+  std::vector<std::pair<std::string, std::uint64_t>> entries;
+
+  /// Serialises into a payload byte vector.
+  std::vector<std::uint8_t> encode() const;
+  /// Parses a payload; false on short/overlong/malformed bytes.
+  bool decode(const std::vector<std::uint8_t>& payload);
+};
 
 }  // namespace ictm::server

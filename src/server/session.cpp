@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 #include "server/protocol.hpp"
 #include "stream/online.hpp"
 
@@ -20,7 +21,11 @@ FrameQueue::FrameQueue(std::size_t capacity)
     : capacity_(std::max<std::size_t>(capacity, 1)) {}
 
 bool FrameQueue::push(std::vector<std::uint8_t> frame) {
+  // Stall count depends on how fast the peer drains — timing class.
+  static obs::Counter& stalls = obs::GetCounter(
+      "server.backpressure_stalls", obs::MetricClass::kTiming);
   std::unique_lock<std::mutex> lock(mutex_);
+  if (!closed_ && frames_.size() >= capacity_) stalls.add();
   canPush_.wait(lock,
                 [this] { return closed_ || frames_.size() < capacity_; });
   if (closed_) return false;
@@ -112,12 +117,16 @@ struct Session::Impl {
   void startWriter() {
     outQueue = std::make_unique<FrameQueue>(limits.outputQueueCapacity);
     writer = std::thread([this] {
+      static obs::Counter& bytesSent = obs::GetCounter(
+          "server.bytes_sent", obs::MetricClass::kDeterministic);
       std::vector<std::uint8_t> frame;
       while (outQueue->pop(&frame)) {
         if (writeFailed.load(std::memory_order_relaxed)) continue;
         if (!socket.sendAll(frame.data(), frame.size())) {
           // Keep draining so pushers never wedge on a dead peer.
           writeFailed.store(true, std::memory_order_relaxed);
+        } else {
+          bytesSent.add(frame.size());
         }
       }
     });
@@ -259,7 +268,33 @@ struct Session::Impl {
     welcome.resumeFrom = expectedSeq;
     outQueue->pushUnbounded(MakeFrame(FrameType::kWelcome, welcome.encode()));
     handshaken = true;
+    static obs::Counter& sessionsOpened = obs::GetCounter(
+        "server.sessions_opened", obs::MetricClass::kDeterministic);
+    sessionsOpened.add();
     return true;
+  }
+
+  /// Pre-handshake metrics probe: reply with the flattened registry
+  /// snapshot, then close.  After the handshake the frame is a
+  /// protocol violation like any other out-of-place type.
+  bool handleStats(const Frame& frame) {
+    if (handshaken) {
+      teardown(MakeErrorFrame(ErrorCode::kProtocol,
+                              "STATS is only valid before the handshake"),
+               /*discardPending=*/false);
+      return false;
+    }
+    if (!frame.payload.empty()) {
+      return refuse(ErrorCode::kProtocol, "STATS payload must be empty");
+    }
+    StatsReply reply;
+    reply.entries = obs::Registry::Instance().snapshot().flatten();
+    sendDirect(FrameType::kStats, reply.encode());
+    // One-shot probe: reply, then close.  The active shutdown (rather
+    // than waiting for ~Session) lets the client treat EOF as
+    // end-of-reply.
+    socket.shutdownBoth();
+    return false;
   }
 
   // ---- streaming -----------------------------------------------------------
@@ -283,6 +318,9 @@ struct Session::Impl {
       estimator->push(
           stream::MakeBinEvent(topo->routing, topo->nodes, bin.data()));
       ++expectedSeq;
+      static obs::Counter& binsReceived = obs::GetCounter(
+          "server.bins_received", obs::MetricClass::kDeterministic);
+      binsReceived.add();
       if (store != nullptr && !hello.sessionKey.empty() &&
           limits.checkpointEvery > 0 &&
           expectedSeq % limits.checkpointEvery == 0) {
@@ -350,6 +388,8 @@ struct Session::Impl {
           return refuse(ErrorCode::kProtocol, "FIN before HELLO");
         }
         return handleFin(frame);
+      case FrameType::kStats:
+        return handleStats(frame);
       case FrameType::kError:
         // Peer reported an error: tear down quietly.
         teardown({}, /*discardPending=*/true);
@@ -421,6 +461,9 @@ struct Session::Impl {
         teardown({}, /*discardPending=*/true);
         return;
       }
+      static obs::Counter& bytesReceived = obs::GetCounter(
+          "server.bytes_received", obs::MetricClass::kDeterministic);
+      bytesReceived.add(static_cast<std::uint64_t>(n));
       rx.insert(rx.end(), chunk, chunk + n);
     }
   }

@@ -2,10 +2,42 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "topology/registry.hpp"
 #include "topology/routing.hpp"
 
 namespace ictm::server {
+
+namespace {
+
+// Registry mirrors of Stats (ISSUE 8 satellite): hit/miss/eviction
+// counts are functions of the session workload (deterministic class);
+// the resident-entry level is a gauge.
+obs::Counter& CacheHits() {
+  static obs::Counter& c = obs::GetCounter(
+      "server.topo_cache.hits", obs::MetricClass::kDeterministic);
+  return c;
+}
+
+obs::Counter& CacheMisses() {
+  static obs::Counter& c = obs::GetCounter(
+      "server.topo_cache.misses", obs::MetricClass::kDeterministic);
+  return c;
+}
+
+obs::Counter& CacheEvictions() {
+  static obs::Counter& c = obs::GetCounter(
+      "server.topo_cache.evictions", obs::MetricClass::kDeterministic);
+  return c;
+}
+
+obs::Gauge& CacheEntries() {
+  static obs::Gauge& g = obs::GetGauge("server.topo_cache.entries",
+                                       obs::MetricClass::kDeterministic);
+  return g;
+}
+
+}  // namespace
 
 TopologyStateCache::TopologyStateCache(std::size_t capacity)
     : capacity_(std::max<std::size_t>(capacity, 1)) {}
@@ -19,6 +51,7 @@ std::shared_ptr<const TopologyState> TopologyStateCache::acquire(
     if (it != entries_.end()) {
       it->second.lastUse = ++clock_;
       ++stats_.hits;
+      CacheHits().add();
       return it->second.state;
     }
   }
@@ -42,11 +75,14 @@ std::shared_ptr<const TopologyState> TopologyStateCache::acquire(
   if (inserted) {
     it->second.state = std::move(state);
     ++stats_.misses;
+    CacheMisses().add();
     evictIdleLocked();
   } else {
     ++stats_.hits;
+    CacheHits().add();
   }
   it->second.lastUse = ++clock_;
+  CacheEntries().set(static_cast<std::int64_t>(entries_.size()));
   return it->second.state;
 }
 
@@ -70,6 +106,7 @@ void TopologyStateCache::evictIdleLocked() {
     if (victim == entries_.end()) return;  // everything pinned; over-stay
     entries_.erase(victim);
     ++stats_.evictions;
+    CacheEvictions().add();
   }
 }
 

@@ -4,6 +4,9 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/now.hpp"
+#include "obs/trace.hpp"
 #include "traffic/io.hpp"
 
 namespace ictm::stream {
@@ -120,6 +123,17 @@ void TraceWriter::append(const double* bin) {
 
 void TraceWriter::flushChunk() {
   if (buffer_.empty()) return;
+  // Chunk/byte counts are pure functions of the workload; the write
+  // time (CRC included) is wall clock.
+  static obs::Counter& chunksWritten = obs::GetCounter(
+      "trace_io.chunks_written", obs::MetricClass::kDeterministic);
+  static obs::Counter& bytesWritten = obs::GetCounter(
+      "trace_io.bytes_written", obs::MetricClass::kDeterministic);
+  static obs::Counter& writeNs =
+      obs::GetCounter("trace_io.write_ns", obs::MetricClass::kTiming);
+  obs::TraceScope traceWrite("chunk_write", "trace_io");
+  const bool recording = obs::Enabled();
+  const std::uint64_t t0 = recording ? obs::Now() : 0;
   const std::uint64_t payloadBytes = buffer_.size() * sizeof(double);
   const std::uint64_t offset = static_cast<std::uint64_t>(out_.tellp());
   WriteRaw(out_, payloadBytes);
@@ -129,6 +143,11 @@ void TraceWriter::flushChunk() {
   ICTM_REQUIRE(out_.good(), "ictmb: chunk write failed: " + path_);
   index_.push_back({offset, buffer_.size() / (nodes_ * nodes_)});
   buffer_.clear();
+  if (recording) {
+    chunksWritten.add();
+    bytesWritten.add(payloadBytes);
+    writeNs.add(obs::Now() - t0);
+  }
 }
 
 void TraceWriter::close() {
@@ -245,6 +264,17 @@ TraceReader::TraceReader(const std::string& path)
 }
 
 void TraceReader::loadChunk(std::size_t chunk) {
+  static obs::Counter& chunksRead = obs::GetCounter(
+      "trace_io.chunks_read", obs::MetricClass::kDeterministic);
+  static obs::Counter& bytesRead = obs::GetCounter(
+      "trace_io.bytes_read", obs::MetricClass::kDeterministic);
+  static obs::Counter& readNs =
+      obs::GetCounter("trace_io.read_ns", obs::MetricClass::kTiming);
+  static obs::Counter& crcVerifyNs =
+      obs::GetCounter("trace_io.crc_verify_ns", obs::MetricClass::kTiming);
+  obs::TraceScope traceRead("chunk_read", "trace_io");
+  const bool recording = obs::Enabled();
+  const std::uint64_t t0 = recording ? obs::Now() : 0;
   const ChunkRecord& rec = index_[chunk];
   in_.clear();
   in_.seekg(static_cast<std::streamoff>(rec.offset));
@@ -259,10 +289,18 @@ void TraceReader::loadChunk(std::size_t chunk) {
   ICTM_REQUIRE(in_.good(), "ictmb: truncated chunk payload: " + path_);
   std::uint32_t storedCrc = 0;
   ReadRaw(in_, storedCrc, "chunk CRC");
-  ICTM_REQUIRE(Crc32(chunk_.data(), payloadBytes) == storedCrc,
+  const std::uint64_t tCrc = recording ? obs::Now() : 0;
+  const std::uint32_t computedCrc = Crc32(chunk_.data(), payloadBytes);
+  if (recording) crcVerifyNs.add(obs::Now() - tCrc);
+  ICTM_REQUIRE(computedCrc == storedCrc,
                "ictmb: chunk CRC mismatch (corrupt data) in chunk " +
                    std::to_string(chunk) + ": " + path_);
   loadedChunk_ = chunk;
+  if (recording) {
+    chunksRead.add();
+    bytesRead.add(payloadBytes);
+    readNs.add(obs::Now() - t0);
+  }
 }
 
 bool TraceReader::next(double* outBin) {

@@ -16,6 +16,9 @@
 #include "core/ic_model.hpp"
 #include "core/priors.hpp"
 #include "linalg/svd.hpp"
+#include "obs/metrics.hpp"
+#include "obs/now.hpp"
+#include "obs/trace.hpp"
 #include "traffic/tm_series.hpp"
 
 namespace ictm::stream {
@@ -66,6 +69,9 @@ struct QueueItem {
   std::size_t seq = 0;
   BinEvent event;
   std::shared_ptr<const PriorModel> model;
+  // Enqueue timestamp for the queue-wait metric; 0 when metrics are
+  // disabled (obs::Now() is monotonic-since-boot, never 0 live).
+  std::uint64_t enqueueNs = 0;
 };
 
 struct PendingResult {
@@ -136,6 +142,26 @@ struct StreamingEstimator::Impl {
   }
 
   void workerLoop() {
+    // Stage metrics (docs/ARCHITECTURE.md "Observability").  Timing
+    // metrics depend on scheduling; the counters are deterministic
+    // (bins emitted == bins pushed for any thread count).
+    static obs::Counter& binsEmitted = obs::GetCounter(
+        "stream.bins_emitted", obs::MetricClass::kDeterministic);
+    static obs::Counter& workerIdleNs =
+        obs::GetCounter("stream.worker_idle_ns", obs::MetricClass::kTiming);
+    static obs::Counter& workerBusyNs =
+        obs::GetCounter("stream.worker_busy_ns", obs::MetricClass::kTiming);
+    static obs::Histogram& queueWaitNs =
+        obs::GetHistogram("stream.queue_wait_ns", obs::MetricClass::kTiming,
+                          obs::LatencyBoundsNs());
+    static obs::Histogram& solveNs =
+        obs::GetHistogram("stream.solve_ns", obs::MetricClass::kTiming,
+                          obs::LatencyBoundsNs());
+    static obs::Histogram& reorderOccupancy = obs::GetHistogram(
+        "stream.reorder_occupancy", obs::MetricClass::kTiming,
+        obs::ExponentialBounds(1.0, 2.0, 10));
+    static obs::Gauge& reorderMax = obs::GetGauge(
+        "stream.reorder_pending", obs::MetricClass::kTiming);
     try {
       core::TmBinSolver solver(*system, options.estimation);
       std::vector<double> prior(n * n), estimate(n * n);
@@ -143,24 +169,43 @@ struct StreamingEstimator::Impl {
         QueueItem item;
         {
           std::unique_lock<std::mutex> lock(queueMutex);
+          const bool recording = obs::Enabled();
+          const std::uint64_t idleStart = recording ? obs::Now() : 0;
           notEmpty.wait(lock, [&] {
             return !queue.empty() || finished || failed.load();
           });
+          if (recording) workerIdleNs.add(obs::Now() - idleStart);
           if (failed.load()) return;
           if (queue.empty()) return;  // finished and drained
           item = std::move(queue.front());
           queue.pop_front();
         }
         notFull.notify_one();
+        if (item.enqueueNs != 0) {
+          queueWaitNs.record(
+              static_cast<double>(obs::Now() - item.enqueueNs));
+        }
 
-        ComputePriorBin(*item.model, item.event.ingress.data(),
-                        item.event.egress.data(), n, prior.data());
-        solver.Solve(item.event.linkLoads.data(), prior.data(),
-                     item.event.ingress.data(), item.event.egress.data(),
-                     estimate.data());
+        {
+          obs::TraceScope traceSolve("solve", "stream");
+          const bool recording = obs::Enabled();
+          const std::uint64_t solveStart = recording ? obs::Now() : 0;
+          ComputePriorBin(*item.model, item.event.ingress.data(),
+                          item.event.egress.data(), n, prior.data());
+          solver.Solve(item.event.linkLoads.data(), prior.data(),
+                       item.event.ingress.data(), item.event.egress.data(),
+                       estimate.data());
+          if (recording) {
+            const std::uint64_t busy = obs::Now() - solveStart;
+            solveNs.record(static_cast<double>(busy));
+            workerBusyNs.add(busy);
+          }
+        }
 
         std::lock_guard<std::mutex> lock(emitMutex);
         pending.emplace(item.seq, PendingResult{estimate, prior});
+        reorderOccupancy.record(static_cast<double>(pending.size()));
+        reorderMax.recordMax(static_cast<std::int64_t>(pending.size()));
         while (!pending.empty() &&
                pending.begin()->first == nextEmit) {
           const PendingResult& r = pending.begin()->second;
@@ -168,6 +213,7 @@ struct StreamingEstimator::Impl {
           pending.erase(pending.begin());
           ++nextEmit;
           emitted.fetch_add(1);
+          binsEmitted.add();
         }
       }
     } catch (...) {
@@ -259,6 +305,16 @@ StreamingEstimator::~StreamingEstimator() {
 }
 
 void StreamingEstimator::push(BinEvent event) {
+  static obs::Counter& binsPushed = obs::GetCounter(
+      "stream.bins_pushed", obs::MetricClass::kDeterministic);
+  static obs::Counter& windowRefits = obs::GetCounter(
+      "stream.window_refits", obs::MetricClass::kDeterministic);
+  static obs::Counter& queueFullStalls = obs::GetCounter(
+      "stream.queue_full_stalls", obs::MetricClass::kTiming);
+  static obs::Histogram& pushWaitNs =
+      obs::GetHistogram("stream.push_wait_ns", obs::MetricClass::kTiming,
+                        obs::LatencyBoundsNs());
+  obs::TraceScope tracePush("push", "stream");
   Impl& im = *impl_;
   ICTM_REQUIRE(event.linkLoads.size() == im.system->linkCount(),
                "link load length mismatch");
@@ -275,6 +331,7 @@ void StreamingEstimator::push(BinEvent event) {
     // so concurrent producers still observe one global arrival order.
     item.seq = im.pushed.fetch_add(1);
     item.model = im.currentModel;
+    binsPushed.add();
 
     // Window accounting: the bin completing a window still uses the
     // old model; bins after it use the re-fitted one.
@@ -295,13 +352,23 @@ void StreamingEstimator::push(BinEvent event) {
         im.windowIngress.assign(im.n, 0.0);
         im.windowEgress.assign(im.n, 0.0);
         im.windowFill = 0;
+        windowRefits.add();
       }
     }
 
+    const bool recording = obs::Enabled();
+    if (recording && im.queue.size() >= im.options.queueCapacity) {
+      queueFullStalls.add();
+    }
+    const std::uint64_t waitStart = recording ? obs::Now() : 0;
     im.notFull.wait(lock, [&] {
       return im.queue.size() < im.options.queueCapacity ||
              im.failed.load();
     });
+    if (recording) {
+      pushWaitNs.record(static_cast<double>(obs::Now() - waitStart));
+      item.enqueueNs = obs::Now();
+    }
     if (!im.failed.load()) {
       im.queue.push_back(std::move(item));
     }

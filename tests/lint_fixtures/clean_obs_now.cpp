@@ -1,0 +1,43 @@
+// Lint fixture: MUST produce zero findings.  Exercises the sanctioned
+// observability idioms: timestamps via obs::Now() (the one allowlisted
+// clock wrapper — a literal steady_clock::now() here would fire
+// ICTM-D002) and static references to registry-owned metrics (the
+// referent is atomic and order-independent, so ICTM-D004 does not
+// apply; a `static std::uint64_t total;` would be flagged).
+#include <cstdint>
+
+namespace obs {
+class Counter {
+ public:
+  void add(std::uint64_t n = 1);
+};
+class Histogram {
+ public:
+  void record(double v);
+};
+enum class MetricClass { kDeterministic, kTiming };
+Counter& GetCounter(const char* name, MetricClass cls);
+Histogram& GetHistogram(const char* name, MetricClass cls);
+std::uint64_t Now();
+bool Enabled();
+}  // namespace obs
+
+// Legal: the static binds a reference to registry-owned metric state;
+// the clang-format wrap puts the initializer call on the next line, so
+// the declaration line itself carries no parenthesis.
+void RecordSolve(double elapsedHint) {
+  static obs::Counter& solves =
+      obs::GetCounter("fixture.solves", obs::MetricClass::kDeterministic);
+  static obs::Histogram& solveNs =
+      obs::GetHistogram("fixture.solve_ns", obs::MetricClass::kTiming);
+
+  // Legal: every clock read goes through obs::Now(), and only when
+  // recording is on — the estimation path never observes the clock.
+  const bool recording = obs::Enabled();
+  const std::uint64_t t0 = recording ? obs::Now() : 0;
+  (void)elapsedHint;
+  if (recording) {
+    solves.add();
+    solveNs.record(static_cast<double>(obs::Now() - t0));
+  }
+}

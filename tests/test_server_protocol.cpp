@@ -176,6 +176,32 @@ TEST(FrameCodec, MalformedPayloadsFailToDecode) {
                                 bin));
 }
 
+TEST(FrameCodec, StatsReplyRoundTripsAndRejectsDamage) {
+  StatsReply reply;
+  reply.entries = {{"server.bins_received", 17},
+                   {"server.sessions_opened", 2},
+                   {"stream.bins_pushed", 17}};
+  const auto bytes = reply.encode();
+
+  StatsReply back;
+  ASSERT_TRUE(back.decode(bytes));
+  EXPECT_EQ(back.entries, reply.entries);
+
+  auto truncated = bytes;
+  truncated.pop_back();
+  EXPECT_FALSE(back.decode(truncated));
+
+  auto trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_FALSE(back.decode(trailing));
+
+  // An absurd entry count must be rejected before any allocation.
+  std::vector<std::uint8_t> huge(sizeof(std::uint32_t));
+  const std::uint32_t bigCount = 0xffffffffu;
+  std::memcpy(huge.data(), &bigCount, sizeof(bigCount));
+  EXPECT_FALSE(back.decode(huge));
+}
+
 TEST(FrameCodec, ErrorCodeNamesAreStable) {
   EXPECT_STREQ(ErrorCodeName(ErrorCode::kCrc), "crc");
   EXPECT_STREQ(ErrorCodeName(ErrorCode::kOversize), "oversize");
@@ -369,6 +395,61 @@ TEST_F(ProtocolServerTest, RefusalsCarryTheRightCode) {
     ASSERT_TRUE(probe.sendFrame(FrameType::kFin, EncodeCountPayload(0)));
     probe.expectError(ErrorCode::kProtocol);  // FIN before HELLO
   }
+}
+
+TEST_F(ProtocolServerTest, StatsProbeReturnsSortedSnapshotThenCloses) {
+  // One real handshake first, so server-side counters exist.
+  Probe session = Probe::ConnectTo(*server_);
+  session.handshake(ValidHello());
+
+  Probe probe = Probe::ConnectTo(*server_);
+  ASSERT_TRUE(probe.sendFrame(FrameType::kStats, {}));
+  Frame frame;
+  ASSERT_TRUE(probe.readFrame(&frame));
+  ASSERT_EQ(frame.type, FrameType::kStats);
+  StatsReply reply;
+  ASSERT_TRUE(reply.decode(frame.payload));
+  for (std::size_t i = 1; i < reply.entries.size(); ++i) {
+    EXPECT_LT(reply.entries[i - 1].first, reply.entries[i].first);
+  }
+#if !defined(ICTM_OBS_DISABLED)
+  std::uint64_t opened = 0;
+  bool sawOpened = false;
+  for (const auto& [name, value] : reply.entries) {
+    if (name == "server.sessions_opened") {
+      sawOpened = true;
+      opened = value;
+    }
+  }
+  EXPECT_TRUE(sawOpened);
+  EXPECT_GE(opened, 1u);
+#endif
+  // The probe is one-shot: the server replies, then closes.
+  EXPECT_FALSE(probe.readFrame(&frame));
+}
+
+TEST_F(ProtocolServerTest, StatsRefusalPaths) {
+  {
+    // Non-empty payload: protocol error, no reply.
+    Probe probe = Probe::ConnectTo(*server_);
+    const std::vector<std::uint8_t> junk{1, 2, 3};
+    ASSERT_TRUE(probe.sendFrame(FrameType::kStats, junk));
+    probe.expectError(ErrorCode::kProtocol);
+  }
+  {
+    // STATS after the handshake: the session is torn down.
+    Probe probe = Probe::ConnectTo(*server_);
+    probe.handshake(ValidHello());
+    ASSERT_TRUE(probe.sendFrame(FrameType::kStats, {}));
+    probe.expectError(ErrorCode::kProtocol);
+  }
+}
+
+TEST_F(ProtocolServerTest, ClientFetchStatsHelperDecodesTheReply) {
+  StatsReply reply;
+  std::string error;
+  ASSERT_TRUE(Client::FetchStats(server_->endpoint(), &reply, &error))
+      << error;
 }
 
 TEST_F(ProtocolServerTest, OutOfOrderBinIsRejected) {

@@ -54,10 +54,13 @@
 
 #include <csignal>
 
+#include <poll.h>
 #include <unistd.h>
 
 #include "common/parallel.hpp"
 #include "conngen/fmeasure.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "conngen/packet_trace.hpp"
 #include "core/estimation.hpp"
 #include "core/solver_backend.hpp"
@@ -90,6 +93,57 @@ class UsageError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+// Shared --trace-out/--metrics-out handling for the estimation
+// subcommands (estimate, stream, run, serve).  begin() opens the
+// trace session before the work; finish() closes it and dumps the
+// metrics registry as ictm-metrics-v1 JSON.  Neither artifact ever
+// changes estimation output bytes (docs/ARCHITECTURE.md,
+// "Observability").
+struct ObsOutputs {
+  std::string tracePath;
+  std::string metricsPath;
+
+  /// Consumes one of the shared flags; false if `arg` is not ours.
+  bool parseFlag(const std::string& arg, int argc, char** argv, int* i) {
+    if (arg == "--trace-out" && *i + 1 < argc) {
+      tracePath = argv[++*i];
+      return true;
+    }
+    if (arg == "--metrics-out" && *i + 1 < argc) {
+      metricsPath = argv[++*i];
+      return true;
+    }
+    return false;
+  }
+
+  void begin() const {
+    if (tracePath.empty()) return;
+    std::string error;
+    if (!obs::tracing::Start(tracePath, &error)) {
+      throw std::runtime_error(error);
+    }
+  }
+
+  void finish() const {
+    if (!tracePath.empty()) {
+      std::string error;
+      if (obs::tracing::Stop(&error)) {
+        std::printf("wrote trace to %s\n", tracePath.c_str());
+      } else {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+      }
+    }
+    if (!metricsPath.empty()) {
+      std::ofstream out(metricsPath);
+      ICTM_REQUIRE(out.is_open(),
+                   "cannot open file for writing: " + metricsPath);
+      out << obs::Registry::Instance().snapshot().toJson() << "\n";
+      ICTM_REQUIRE(out.good(), "metrics write failed: " + metricsPath);
+      std::printf("wrote metrics to %s\n", metricsPath.c_str());
+    }
+  }
+};
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -100,6 +154,7 @@ int Usage() {
                "  ictm run <scenario...|all> [--threads N] [--out DIR]\n"
                "           [--seed S] [--tiny] [--topology SPEC]\n"
                "           [--solver dense|sparse|cg|auto]\n"
+               "           [--trace-out FILE] [--metrics-out FILE]\n"
                "      run scenarios; deterministic JSON per scenario\n"
                "      (bit-identical for every --threads value) goes to\n"
                "      DIR/<scenario>.json plus DIR/manifest.json, or to\n"
@@ -121,6 +176,7 @@ int Usage() {
                "  ictm fmeasure [durationSec] [connPerSec] [seed]\n"
                "  ictm estimate <tm.csv> [topology] [threads] [seed]\n"
                "           [--solver dense|sparse|cg|auto]\n"
+               "           [--trace-out FILE] [--metrics-out FILE]\n"
                "      topology: auto (default) picks a canned topology\n"
                "                by node count; otherwise any registry\n"
                "                spec (geant22, hierarchy:100, ...) or\n"
@@ -136,6 +192,7 @@ int Usage() {
                "           [--seed S] [--threads N] [--window W]\n"
                "           [--queue C] [--f F] [--out DIR]\n"
                "           [--solver dense|sparse|cg|auto]\n"
+               "           [--trace-out FILE] [--metrics-out FILE]\n"
                "      online estimation through the streaming subsystem\n"
                "      (bounded queue + worker pool + reorder buffer);\n"
                "      input format is sniffed, not taken from the\n"
@@ -154,9 +211,15 @@ int Usage() {
                "                    DIR/priors.ictmb\n"
                "      --solver K    normal-equations backend (auto\n"
                "                    picks by problem size; default)\n"
+               "      --trace-out FILE   Chrome trace_event JSON of the\n"
+               "                    run (chrome://tracing / perfetto)\n"
+               "      --metrics-out FILE ictm-metrics-v1 JSON snapshot\n"
+               "                    of the metrics registry at exit\n"
                "  ictm serve --listen SPEC [--checkpoint-dir DIR]\n"
                "           [--checkpoint-every K] [--cache N]\n"
                "           [--max-threads N] [--queue C]\n"
+               "           [--stats-interval SEC]\n"
+               "           [--trace-out FILE] [--metrics-out FILE]\n"
                "      long-running estimation server; SPEC is\n"
                "      unix:/path.sock or tcp:host:port (port 0 picks\n"
                "      an ephemeral port, printed on startup); runs\n"
@@ -171,6 +234,13 @@ int Usage() {
                "                    (default 4)\n"
                "      --queue C     per-session outbound frame queue\n"
                "                    capacity (default 16)\n"
+               "      --stats-interval SEC  print a metrics summary\n"
+               "                    line every SEC seconds\n"
+               "      --trace-out/--metrics-out  as for `ictm stream`\n"
+               "                    (metrics written at shutdown)\n"
+               "  ictm client --stats --connect SPEC\n"
+               "      print a running server's metrics snapshot\n"
+               "      (name-sorted \"name value\" lines) and exit\n"
                "  ictm client <trace.ictmb|tm.csv> --connect SPEC\n"
                "           [--topology T] [--seed S] [--threads N]\n"
                "           [--window W] [--queue C] [--f F]\n"
@@ -297,11 +367,13 @@ int CmdRun(int argc, char** argv) {
   std::vector<std::string> names;
   std::string outDir;
   bool runAll = false;
+  ObsOutputs obsOut;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--tiny") {
       ctx.tiny = true;
+    } else if (obsOut.parseFlag(arg, argc, argv, &i)) {
     } else if (arg == "--threads" && i + 1 < argc) {
       ctx.threads = ParseThreads(argv[++i]);
     } else if (arg == "--seed" && i + 1 < argc) {
@@ -337,6 +409,7 @@ int CmdRun(int argc, char** argv) {
     }
   }
   if (names.empty()) return Usage();
+  obsOut.begin();
 
   // Split the thread budget between the scenario-level fan-out and
   // each scenario's inner kernels instead of multiplying them (inner
@@ -383,6 +456,7 @@ int CmdRun(int argc, char** argv) {
       if (r.error.empty()) std::printf("%s", r.doc.dump(2).c_str());
     }
   }
+  obsOut.finish();
   return allPass ? 0 : 1;
 }
 
@@ -481,10 +555,12 @@ topology::Graph TopologyByName(const std::string& name, std::size_t nodes,
 int CmdEstimate(int argc, char** argv) {
   core::EstimationOptions options;
   std::vector<std::string> positional;
+  ObsOutputs obsOut;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--solver" && i + 1 < argc) {
       options.solver = ParseSolver(argv[++i]);
+    } else if (obsOut.parseFlag(arg, argc, argv, &i)) {
     } else if (!arg.empty() && arg[0] == '-' && arg.size() > 1 &&
                !std::isdigit(static_cast<unsigned char>(arg[1]))) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
@@ -494,6 +570,7 @@ int CmdEstimate(int argc, char** argv) {
     }
   }
   if (positional.empty()) return Usage();
+  obsOut.begin();
 
   const auto truth = traffic::ReadCsvFile(positional[0]);
   const std::string topoName =
@@ -541,6 +618,7 @@ int CmdEstimate(int argc, char** argv) {
               "(improvement %.1f%%)\n",
               core::Mean(errEst), core::Mean(errPrior),
               core::Mean(core::PercentImprovementSeries(errPrior, errEst)));
+  obsOut.finish();
   return 0;
 }
 
@@ -552,11 +630,13 @@ int CmdStream(int argc, char** argv) {
   std::uint64_t topoSeed = 0;
   stream::StreamingOptions options;
   options.threads = 0;  // saturate by default
+  ObsOutputs obsOut;
 
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--topology" && i + 1 < argc) {
       topoName = argv[++i];
+    } else if (obsOut.parseFlag(arg, argc, argv, &i)) {
     } else if (arg == "--seed" && i + 1 < argc) {
       topoSeed = static_cast<std::uint64_t>(ParseSize(
           argv[++i], "seed", 0, std::numeric_limits<long>::max()));
@@ -577,6 +657,8 @@ int CmdStream(int argc, char** argv) {
       return Usage();
     }
   }
+
+  obsOut.begin();
 
   // Sniff the input format; either way bins stream one at a time —
   // peak memory is O(n² · (queue + workers)), never O(n² · T).
@@ -706,6 +788,7 @@ int CmdStream(int argc, char** argv) {
     std::printf("wrote %s/estimates.ictmb and %s/priors.ictmb\n",
                 outDir.c_str(), outDir.c_str());
   }
+  obsOut.finish();
   return 0;
 }
 
@@ -722,10 +805,16 @@ void ServeStopHandler(int) {
 int CmdServe(int argc, char** argv) {
   std::string listenSpec;
   server::ServerOptions options;
+  ObsOutputs obsOut;
+  std::size_t statsIntervalSec = 0;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--listen" && i + 1 < argc) {
       listenSpec = argv[++i];
+    } else if (obsOut.parseFlag(arg, argc, argv, &i)) {
+    } else if (arg == "--stats-interval" && i + 1 < argc) {
+      statsIntervalSec =
+          ParseSize(argv[++i], "stats-interval", 1, 86400);
     } else if (arg == "--checkpoint-dir" && i + 1 < argc) {
       options.checkpointDir = argv[++i];
     } else if (arg == "--checkpoint-every" && i + 1 < argc) {
@@ -750,6 +839,7 @@ int CmdServe(int argc, char** argv) {
                      listenSpec);
   }
 
+  obsOut.begin();
   server::Server srv(options);
   std::string error;
   if (!srv.start(&error)) {
@@ -770,8 +860,41 @@ int CmdServe(int argc, char** argv) {
   sa.sa_handler = ServeStopHandler;
   sigaction(SIGINT, &sa, nullptr);
   sigaction(SIGTERM, &sa, nullptr);
-  char byte = 0;
-  while (read(g_serveStopPipe[0], &byte, 1) < 0 && errno == EINTR) {
+  // Wait for the stop byte; with --stats-interval the wait doubles as
+  // the periodic-summary timer (poll timeout), so an idle server still
+  // wakes only once per interval.
+  const int pollTimeoutMs =
+      statsIntervalSec > 0 ? static_cast<int>(statsIntervalSec * 1000)
+                           : -1;
+  for (;;) {
+    struct pollfd pfd = {g_serveStopPipe[0], POLLIN, 0};
+    const int ready = poll(&pfd, 1, pollTimeoutMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) {
+      const auto live = srv.cacheStats();
+      std::printf("stats: %zu session(s) accepted; %llu bin(s) in, "
+                  "%llu estimate byte(s) out; topology cache: %zu "
+                  "hit(s), %zu miss(es), %zu eviction(s)\n",
+                  srv.sessionsAccepted(),
+                  static_cast<unsigned long long>(
+                      obs::GetCounter("server.bins_received",
+                                      obs::MetricClass::kDeterministic)
+                          .value()),
+                  static_cast<unsigned long long>(
+                      obs::GetCounter("server.bytes_sent",
+                                      obs::MetricClass::kDeterministic)
+                          .value()),
+                  live.hits, live.misses, live.evictions);
+      std::fflush(stdout);
+      continue;
+    }
+    char byte = 0;
+    while (read(g_serveStopPipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    break;
   }
   std::printf("shutting down\n");
   srv.stop();
@@ -780,6 +903,27 @@ int CmdServe(int argc, char** argv) {
               "miss(es), %zu eviction(s)\n",
               srv.sessionsAccepted(), stats.hits, stats.misses,
               stats.evictions);
+  std::printf("totals: %llu bin(s) received, %llu byte(s) in, %llu "
+              "byte(s) out, %llu backpressure stall(s)\n",
+              static_cast<unsigned long long>(
+                  obs::GetCounter("server.bins_received",
+                                  obs::MetricClass::kDeterministic)
+                      .value()),
+              static_cast<unsigned long long>(
+                  obs::GetCounter("server.bytes_received",
+                                  obs::MetricClass::kDeterministic)
+                      .value()),
+              static_cast<unsigned long long>(
+                  obs::GetCounter("server.bytes_sent",
+                                  obs::MetricClass::kDeterministic)
+                      .value()),
+              static_cast<unsigned long long>(
+                  obs::GetCounter("server.backpressure_stalls",
+                                  obs::MetricClass::kTiming)
+                      .value()));
+  // SIGTERM/SIGINT is the only way out of the loop above, so this is
+  // the "metrics snapshot on shutdown" dump.
+  obsOut.finish();
   return 0;
 }
 
@@ -796,8 +940,47 @@ std::string TopologySpecByNodes(const std::string& name, std::size_t nodes) {
                    ".ictp file");
 }
 
+// `ictm client --stats --connect SPEC`: one-shot metrics probe — no
+// trace, no session; prints the server's flattened registry snapshot
+// as "name value" lines (name-sorted, so output is diffable).
+int CmdClientStats(int argc, char** argv) {
+  std::string connectSpec;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--stats") continue;
+    if (arg == "--connect" && i + 1 < argc) {
+      connectSpec = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag with --stats: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (connectSpec.empty()) return Usage();
+  server::Endpoint endpoint;
+  if (!server::Endpoint::Parse(connectSpec, &endpoint)) {
+    throw UsageError("bad --connect spec (unix:/path or tcp:host:port): " +
+                     connectSpec);
+  }
+  server::StatsReply reply;
+  std::string error;
+  if (!server::Client::FetchStats(endpoint, &reply, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  for (const auto& [name, value] : reply.entries) {
+    std::printf("%s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  return 0;
+}
+
 int CmdClient(int argc, char** argv) {
   if (argc < 3) return Usage();
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      return CmdClientStats(argc, argv);
+    }
+  }
   const std::string inPath = argv[2];
   std::string connectSpec;
   std::string topoName = "auto";
