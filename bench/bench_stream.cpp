@@ -1,26 +1,36 @@
 // Streaming-subsystem benchmark: binary `ictmb` trace reads must beat
 // the equivalent CSV parse by >= 5x on a paper-scale series (>= 20
-// nodes, >= 2000 bins), and the online estimator is timed against the
-// batch engine on the same workload.
+// nodes, >= 2000 bins), the online estimator is timed against the
+// batch engine on the same workload, and the v2 chunk codecs are
+// measured (size + throughput) on a smooth diurnal fixture.
 //
-//   ./bench_stream [nodes] [bins] [threads]   # defaults: 22 2016 4
+//   ./bench_stream [nodes] [bins] [threads] [compressionJson]
+//   # defaults: 22 2016 4; compressionJson, when given, receives the
+//   # per-codec compression results as a JSON document
 //
-// Exit code 0 when the formats agree bit-for-bit and the >= 5x read
-// speedup holds; 1 otherwise.  ICTM_BENCH_CORRECTNESS_ONLY=1 skips the
-// speedup gate (sanitizer builds distort timings by ~10x) while still
-// enforcing every bit-identity check.
+// Exit code 0 when the formats agree bit-for-bit, the >= 5x read
+// speedup holds, the delta codec at least halves the smooth fixture
+// and compressed replay is not slower than the CSV parse; 1
+// otherwise.  ICTM_BENCH_CORRECTNESS_ONLY=1 skips the timing gates
+// (sanitizer builds distort timings by ~10x) while still enforcing
+// every bit-identity check and the compression-ratio gate, which is a
+// pure function of the workload.
 #include <unistd.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <optional>
 
 #include "core/estimation.hpp"
 #include "obs/metrics.hpp"
 #include "scenario/common.hpp"
+#include "scenario/json.hpp"
 #include "stats/rng.hpp"
+#include "stream/codec.hpp"
 #include "stream/format.hpp"
 #include "stream/online.hpp"
 #include "topology/topologies.hpp"
@@ -30,6 +40,38 @@
 using namespace ictm;
 using scenario::BitIdentical;
 using scenario::SecondsSince;
+
+namespace {
+
+// Smooth diurnal TM series quantised to multiples of 256 bytes — the
+// compressible fixture (integral SNMP-style counters whose
+// consecutive bins differ little); mirrors the fixture of the
+// test_stream codec tests.
+traffic::TrafficMatrixSeries SmoothSeries(std::size_t nodes,
+                                          std::size_t bins,
+                                          std::uint64_t seed) {
+  stats::Rng rng(seed);
+  traffic::TrafficMatrixSeries s(nodes, bins, 300.0);
+  const std::size_t n2 = nodes * nodes;
+  std::vector<double> base(n2), phase(n2);
+  for (std::size_t k = 0; k < n2; ++k) {
+    base[k] = rng.uniform(1e6, 1e9);
+    phase[k] = rng.uniform(0.0, 6.28318530717958648);
+  }
+  for (std::size_t t = 0; t < bins; ++t) {
+    double* bin = s.binData(t);
+    for (std::size_t k = 0; k < n2; ++k) {
+      const double diurnal =
+          1.0 + 0.5 * std::sin(6.28318530717958648 *
+                                   (double(t) / 288.0) +
+                               phase[k]);
+      bin[k] = std::round(base[k] * diurnal / 256.0) * 256.0;
+    }
+  }
+  return s;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const std::size_t nodes =
@@ -152,19 +194,127 @@ int main(int argc, char** argv) {
               "%.3fx; results bit-identical across modes: %s\n",
               streamObsSec, streamSec, obsRatio, obsIdentical ? "yes" : "NO");
 
+  // ---- chunk codec compression (smooth diurnal fixture) --------------------
+  // Per-codec file size and read/write throughput, with two gates:
+  //  * delta must at least halve the raw footprint (deterministic —
+  //    always enforced), and
+  //  * replaying the compressed trace must not be slower than parsing
+  //    the equivalent CSV (timing — skipped in correctness-only mode).
+  const auto smooth = SmoothSeries(nodes, bins, 7);
+  const std::string smoothCsvPath = (dir / "smooth.csv").string();
+  traffic::WriteCsvFile(smoothCsvPath, smooth);
+  const std::size_t smoothCsvBytes =
+      static_cast<std::size_t>(fs::file_size(smoothCsvPath));
+  double smoothCsvSec = 1e30;
+  bool codecIdentical = true;
+  for (int rep = 0; rep < 3; ++rep) {
+    t0 = std::chrono::steady_clock::now();
+    const auto fromCsv = traffic::ReadCsvFile(smoothCsvPath);
+    smoothCsvSec = std::min(smoothCsvSec, SecondsSince(t0));
+    codecIdentical = codecIdentical && BitIdentical(fromCsv, smooth);
+  }
+
+  scenario::json::Array codecResults;
+  std::size_t rawBytes = 0;
+  std::size_t deltaBytes = 0;
+  double deltaReadSec = 1e30;
+  std::printf("codec compression on the smooth diurnal fixture "
+              "(CSV %zu bytes, parse %.4f s):\n",
+              smoothCsvBytes, smoothCsvSec);
+  for (std::size_t c = 0; c < stream::kChunkCodecCount; ++c) {
+    const auto codec = static_cast<stream::ChunkCodec>(c);
+    const char* name = stream::ChunkCodecName(codec);
+    const std::string path =
+        (dir / (std::string("smooth_") + name + ".ictmb")).string();
+    stream::TraceWriterOptions writerOptions;
+    writerOptions.codec = codec;
+    writerOptions.compressThreads = codec == stream::ChunkCodec::kRaw
+                                        ? 0
+                                        : std::max<std::size_t>(1, threads);
+    t0 = std::chrono::steady_clock::now();
+    stream::WriteTraceFile(path, smooth, writerOptions);
+    const double writeSec = SecondsSince(t0);
+    const std::size_t codecBytes =
+        static_cast<std::size_t>(fs::file_size(path));
+    double readSec = 1e30;
+    for (int rep = 0; rep < 3; ++rep) {
+      t0 = std::chrono::steady_clock::now();
+      stream::TraceReader reader(path, stream::TraceReaderOptions{true});
+      const auto back = reader.readAll();
+      readSec = std::min(readSec, SecondsSince(t0));
+      codecIdentical = codecIdentical && BitIdentical(back, smooth);
+    }
+    if (codec == stream::ChunkCodec::kRaw) rawBytes = codecBytes;
+    if (codec == stream::ChunkCodec::kDelta) {
+      deltaBytes = codecBytes;
+      deltaReadSec = readSec;
+    }
+    const double ratio =
+        rawBytes > 0 ? double(codecBytes) / double(rawBytes) : 1.0;
+    std::printf("  %-10s %9zu bytes (%.2fx of raw), write %.4f s, "
+                "read (best of 3) %.4f s\n",
+                name, codecBytes, ratio, writeSec, readSec);
+    scenario::json::Object entry;
+    entry.set("codec", name);
+    entry.set("bytes", codecBytes);
+    entry.set("ratio_vs_raw", ratio);
+    entry.set("write_seconds", writeSec);
+    entry.set("read_seconds", readSec);
+    entry.set("write_mb_per_s",
+              writeSec > 0.0 ? double(rawBytes) / 1e6 / writeSec : 0.0);
+    entry.set("read_mb_per_s",
+              readSec > 0.0 ? double(rawBytes) / 1e6 / readSec : 0.0);
+    codecResults.push_back(scenario::json::Value(std::move(entry)));
+  }
+  const bool deltaHalves = 2 * deltaBytes <= rawBytes;
+  const bool replayBeatsCsv = deltaReadSec <= smoothCsvSec;
+  std::printf("compression gates: delta footprint %.2fx of raw (need <= "
+              "0.50x): %s; delta replay %.4f s vs CSV parse %.4f s: %s; "
+              "decoded bit-identical: %s\n",
+              rawBytes > 0 ? double(deltaBytes) / double(rawBytes) : 1.0,
+              deltaHalves ? "ok" : "FAIL",
+              deltaReadSec, smoothCsvSec,
+              replayBeatsCsv ? "ok" : "SLOWER",
+              codecIdentical ? "yes" : "NO");
+
   const bool correctnessOnly =
       std::getenv("ICTM_BENCH_CORRECTNESS_ONLY") != nullptr;
-  const bool pass = agree && matches && obsIdentical &&
-                    (correctnessOnly || (speedup >= 5.0 && obsRatio <= 1.02));
+
+  if (argc > 4) {
+    scenario::json::Object doc;
+    doc.set("schema", "ictm-trace-compression-v1");
+    doc.set("nodes", nodes);
+    doc.set("bins", bins);
+    doc.set("csv_bytes", smoothCsvBytes);
+    doc.set("csv_read_seconds", smoothCsvSec);
+    doc.set("codecs", scenario::json::Value(std::move(codecResults)));
+    doc.set("delta_halves_raw", deltaHalves);
+    doc.set("replay_not_slower_than_csv", replayBeatsCsv);
+    doc.set("correctness_only", correctnessOnly);
+    std::ofstream json(argv[4]);
+    if (!json.is_open()) {
+      std::fprintf(stderr, "cannot open %s for writing\n", argv[4]);
+      return 1;
+    }
+    json << scenario::json::Value(std::move(doc)).dump(2) << "\n";
+    std::printf("wrote %s\n", argv[4]);
+  }
+
+  const bool pass =
+      agree && matches && obsIdentical && codecIdentical && deltaHalves &&
+      (correctnessOnly ||
+       (speedup >= 5.0 && obsRatio <= 1.02 && replayBeatsCsv));
   if (correctnessOnly) {
-    std::printf("[%s] correctness-only mode: speedup and overhead gates "
-                "skipped (measured %.1fx read speedup, %.3fx metrics "
-                "overhead)\n",
+    std::printf("[%s] correctness-only mode: timing gates skipped "
+                "(measured %.1fx read speedup, %.3fx metrics overhead); "
+                "compression ratio gate still enforced\n",
                 pass ? "PASS" : "FAIL", speedup, obsRatio);
   } else {
     std::printf("[%s] binary reads %.1fx faster than CSV (need >= 5x); "
-                "metrics overhead %.3fx (need <= 1.02x)\n",
-                pass ? "PASS" : "FAIL", speedup, obsRatio);
+                "metrics overhead %.3fx (need <= 1.02x); delta halves the "
+                "smooth fixture: %s\n",
+                pass ? "PASS" : "FAIL", speedup, obsRatio,
+                deltaHalves ? "yes" : "NO");
   }
   return pass ? 0 : 1;
 }

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstring>
+#include <utility>
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
@@ -18,7 +19,11 @@ constexpr std::array<char, 8> kMagic = {'I', 'C', 'T', 'M',
 constexpr std::array<char, 8> kEndMagic = {'I', 'C', 'T', 'M',
                                            'B', 'E', 'O', 'F'};
 constexpr std::uint32_t kByteOrderSentinel = 0x01020304u;
-constexpr std::uint32_t kVersion = 1;
+// v1 frames carry the payload verbatim; v2 frames are self-describing
+// (codec tag + uncompressed length).  The writer always emits v2; the
+// reader accepts both.
+constexpr std::uint32_t kVersionV1 = 1;
+constexpr std::uint32_t kVersionV2 = 2;
 // Length-prefix value that marks the index frame; no real chunk can be
 // this large.
 constexpr std::uint64_t kIndexMarker = ~std::uint64_t{0};
@@ -32,6 +37,12 @@ template <typename T>
 void ReadRaw(std::istream& is, T& value, const std::string& what) {
   is.read(reinterpret_cast<char*>(&value), sizeof value);
   ICTM_REQUIRE(is.good(), "ictmb: truncated while reading " + what);
+}
+
+std::uint64_t FileSizeOf(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  ICTM_REQUIRE(in.is_open(), "cannot open file for reading: " + path);
+  return static_cast<std::uint64_t>(in.tellg());
 }
 
 }  // namespace
@@ -85,25 +96,34 @@ std::uint32_t Crc32(const void* data, std::size_t len,
 // ---- TraceWriter -----------------------------------------------------------
 
 TraceWriter::TraceWriter(const std::string& path, std::size_t nodes,
-                         double binSeconds, std::size_t binsPerChunk)
+                         double binSeconds,
+                         const TraceWriterOptions& options)
     : out_(path, std::ios::binary),
       path_(path),
       nodes_(nodes),
-      binsPerChunk_(binsPerChunk) {
+      options_(options) {
   ICTM_REQUIRE(out_.is_open(), "cannot open file for writing: " + path);
   ICTM_REQUIRE(nodes > 0, "ictmb: node count must be positive");
   ICTM_REQUIRE(binSeconds > 0.0, "ictmb: binSeconds must be positive");
-  ICTM_REQUIRE(binsPerChunk > 0, "ictmb: binsPerChunk must be positive");
-  buffer_.reserve(binsPerChunk * nodes * nodes);
+  ICTM_REQUIRE(options.binsPerChunk > 0,
+               "ictmb: binsPerChunk must be positive");
+  ICTM_REQUIRE(static_cast<std::size_t>(options.codec) < kChunkCodecCount,
+               "ictmb: unknown chunk codec");
+  buffer_.reserve(options.binsPerChunk * nodes * nodes);
 
   out_.write(kMagic.data(), kMagic.size());
   WriteRaw(out_, kByteOrderSentinel);
-  WriteRaw(out_, kVersion);
+  WriteRaw(out_, kVersionV2);
   WriteRaw(out_, static_cast<std::uint64_t>(nodes));
   WriteRaw(out_, binSeconds);
-  WriteRaw(out_, static_cast<std::uint64_t>(binsPerChunk));
+  WriteRaw(out_, static_cast<std::uint64_t>(options.binsPerChunk));
   ICTM_REQUIRE(out_.good(), "ictmb: header write failed: " + path);
 }
+
+TraceWriter::TraceWriter(const std::string& path, std::size_t nodes,
+                         double binSeconds, std::size_t binsPerChunk)
+    : TraceWriter(path, nodes, binSeconds,
+                  TraceWriterOptions{binsPerChunk, ChunkCodec::kRaw, 0}) {}
 
 TraceWriter::~TraceWriter() {
   if (closed_) return;
@@ -116,13 +136,37 @@ TraceWriter::~TraceWriter() {
 
 void TraceWriter::append(const double* bin) {
   ICTM_REQUIRE(!closed_, "ictmb: append after close: " + path_);
+  if (poolStarted_) {
+    // Surface a worker failure as early as possible instead of
+    // accepting bins that can never land.
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    if (poolError_) std::rethrow_exception(firstError_);
+  }
   buffer_.insert(buffer_.end(), bin, bin + nodes_ * nodes_);
   ++binsWritten_;
-  if (buffer_.size() == binsPerChunk_ * nodes_ * nodes_) flushChunk();
+  if (buffer_.size() == options_.binsPerChunk * nodes_ * nodes_) {
+    flushChunk();
+  }
 }
 
-void TraceWriter::flushChunk() {
-  if (buffer_.empty()) return;
+TraceWriter::EncodedChunk TraceWriter::encodeChunk(
+    const double* bins, std::size_t binCount) const {
+  const std::size_t n2 = nodes_ * nodes_;
+  EncodedChunk encoded;
+  encoded.binCount = binCount;
+  encoded.codec = options_.codec;
+  encoded.payload = EncodeChunk(options_.codec, bins, binCount, n2);
+  if (options_.codec != ChunkCodec::kRaw &&
+      encoded.payload.size() >= binCount * n2 * sizeof(double)) {
+    // Per-chunk fallback: incompressible data is stored raw, so a
+    // codec can never inflate a chunk beyond the frame header cost.
+    encoded.codec = ChunkCodec::kRaw;
+    encoded.payload = EncodeChunk(ChunkCodec::kRaw, bins, binCount, n2);
+  }
+  return encoded;
+}
+
+void TraceWriter::writeFrame(const EncodedChunk& chunk) {
   // Chunk/byte counts are pure functions of the workload; the write
   // time (CRC included) is wall clock.
   static obs::Counter& chunksWritten = obs::GetCounter(
@@ -134,26 +178,167 @@ void TraceWriter::flushChunk() {
   obs::TraceScope traceWrite("chunk_write", "trace_io");
   const bool recording = obs::Enabled();
   const std::uint64_t t0 = recording ? obs::Now() : 0;
-  const std::uint64_t payloadBytes = buffer_.size() * sizeof(double);
+  const std::uint64_t storedBytes = chunk.payload.size();
+  const std::uint64_t rawBytes =
+      chunk.binCount * nodes_ * nodes_ * sizeof(double);
+  const std::uint32_t codecTag = static_cast<std::uint32_t>(chunk.codec);
   const std::uint64_t offset = static_cast<std::uint64_t>(out_.tellp());
-  WriteRaw(out_, payloadBytes);
-  out_.write(reinterpret_cast<const char*>(buffer_.data()),
-             static_cast<std::streamsize>(payloadBytes));
-  WriteRaw(out_, Crc32(buffer_.data(), payloadBytes));
+  WriteRaw(out_, storedBytes);
+  WriteRaw(out_, codecTag);
+  WriteRaw(out_, rawBytes);
+  out_.write(reinterpret_cast<const char*>(chunk.payload.data()),
+             static_cast<std::streamsize>(storedBytes));
+  std::uint32_t crc = Crc32(&codecTag, sizeof codecTag);
+  crc = Crc32(&rawBytes, sizeof rawBytes, crc);
+  crc = Crc32(chunk.payload.data(), chunk.payload.size(), crc);
+  WriteRaw(out_, crc);
   ICTM_REQUIRE(out_.good(), "ictmb: chunk write failed: " + path_);
-  index_.push_back({offset, buffer_.size() / (nodes_ * nodes_)});
-  buffer_.clear();
+  index_.push_back({offset, chunk.binCount});
   if (recording) {
     chunksWritten.add();
-    bytesWritten.add(payloadBytes);
+    bytesWritten.add(storedBytes);
     writeNs.add(obs::Now() - t0);
   }
+}
+
+void TraceWriter::flushChunk() {
+  if (buffer_.empty()) return;
+  if (options_.compressThreads > 0) {
+    if (!poolStarted_) startPool();
+    enqueueChunk();
+    return;
+  }
+  const std::size_t n2 = nodes_ * nodes_;
+  writeFrame(encodeChunk(buffer_.data(), buffer_.size() / n2));
+  buffer_.clear();
+}
+
+void TraceWriter::startPool() {
+  poolStarted_ = true;
+  jobCapacity_ = 2 * options_.compressThreads;
+  resultWindow_ = options_.compressThreads + 2;
+  compressors_.reserve(options_.compressThreads);
+  for (std::size_t i = 0; i < options_.compressThreads; ++i) {
+    compressors_.emplace_back([this] { compressLoop(); });
+  }
+  writerThread_ = std::thread([this] { writeLoop(); });
+}
+
+void TraceWriter::enqueueChunk() {
+  const std::size_t n2 = nodes_ * nodes_;
+  PendingChunk job;
+  job.binCount = buffer_.size() / n2;
+  job.bins = std::move(buffer_);
+  buffer_ = {};
+  buffer_.reserve(options_.binsPerChunk * n2);
+  std::unique_lock<std::mutex> lock(poolMutex_);
+  cvSpace_.wait(lock,
+                [&] { return jobs_.size() < jobCapacity_ || poolError_; });
+  // A failed pool stops accepting chunks; close() (or the next
+  // append()) reports the stored error.
+  if (poolError_) return;
+  job.seq = sealed_++;
+  jobs_.push_back(std::move(job));
+  cvJob_.notify_one();
+}
+
+void TraceWriter::compressLoop() {
+  for (;;) {
+    PendingChunk job;
+    {
+      std::unique_lock<std::mutex> lock(poolMutex_);
+      cvJob_.wait(lock,
+                  [&] { return !jobs_.empty() || done_ || poolError_; });
+      if (poolError_) return;
+      if (jobs_.empty()) return;  // done_ and fully drained
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+      cvSpace_.notify_all();
+    }
+    try {
+      EncodedChunk encoded =
+          encodeChunk(job.bins.data(), static_cast<std::size_t>(job.binCount));
+      std::unique_lock<std::mutex> lock(poolMutex_);
+      // Reorder window: hold the result until the write cursor is
+      // close, bounding results_ memory.  Jobs are popped in seq
+      // order, so the worker holding the cursor's chunk always passes
+      // this predicate — no deadlock.
+      cvSpace_.wait(lock, [&] {
+        return job.seq < written_ + resultWindow_ || poolError_;
+      });
+      if (poolError_) return;
+      results_.emplace(job.seq, std::move(encoded));
+      cvResult_.notify_one();
+    } catch (...) {
+      setPoolError(std::current_exception());
+      return;
+    }
+  }
+}
+
+void TraceWriter::writeLoop() {
+  for (;;) {
+    EncodedChunk chunk;
+    {
+      std::unique_lock<std::mutex> lock(poolMutex_);
+      cvResult_.wait(lock, [&] {
+        return poolError_ || results_.count(written_) != 0 ||
+               (done_ && written_ == sealed_);
+      });
+      if (poolError_) return;
+      auto it = results_.find(written_);
+      if (it == results_.end()) return;  // everything sealed is on disk
+      chunk = std::move(it->second);
+      results_.erase(it);
+    }
+    try {
+      writeFrame(chunk);
+    } catch (...) {
+      setPoolError(std::current_exception());
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(poolMutex_);
+      ++written_;
+    }
+    cvSpace_.notify_all();
+  }
+}
+
+void TraceWriter::setPoolError(std::exception_ptr error) {
+  {
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    if (!poolError_) {
+      poolError_ = true;
+      firstError_ = std::move(error);
+    }
+  }
+  cvJob_.notify_all();
+  cvSpace_.notify_all();
+  cvResult_.notify_all();
+}
+
+void TraceWriter::shutdownPool() {
+  {
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    done_ = true;
+  }
+  cvJob_.notify_all();
+  cvResult_.notify_all();
+  for (std::thread& t : compressors_) t.join();
+  writerThread_.join();
+  compressors_.clear();
 }
 
 void TraceWriter::close() {
   ICTM_REQUIRE(!closed_, "ictmb: close called twice: " + path_);
   closed_ = true;
   flushChunk();
+  if (poolStarted_) {
+    shutdownPool();
+    // Threads are joined; pool state is safe to read unlocked.
+    if (poolError_) std::rethrow_exception(firstError_);
+  }
 
   // Index frame: marker, chunk count, per-chunk records, total bins,
   // CRC over everything after the marker.
@@ -179,12 +364,17 @@ void TraceWriter::close() {
   out_.flush();
   ICTM_REQUIRE(out_.good(), "ictmb: index/footer write failed: " + path_);
   out_.close();
+  // close() flushes any remaining buffered bytes; a short write or
+  // full disk detected here must surface, not vanish.
+  ICTM_REQUIRE(!out_.fail(),
+               "ictmb: close failed (short write or full disk): " + path_);
 }
 
 // ---- TraceReader -----------------------------------------------------------
 
-TraceReader::TraceReader(const std::string& path)
-    : in_(path, std::ios::binary), path_(path) {
+TraceReader::TraceReader(const std::string& path,
+                         const TraceReaderOptions& options)
+    : in_(path, std::ios::binary), path_(path), options_(options) {
   ICTM_REQUIRE(in_.is_open(), "cannot open file for reading: " + path);
 
   std::array<char, 8> magic{};
@@ -197,7 +387,7 @@ TraceReader::TraceReader(const std::string& path)
                "ictmb: byte-order mismatch (file written on a host with "
                "different endianness): " + path);
   ReadRaw(in_, version, "header");
-  ICTM_REQUIRE(version == kVersion,
+  ICTM_REQUIRE(version == kVersionV1 || version == kVersionV2,
                "ictmb: unsupported version " + std::to_string(version) +
                    ": " + path);
   std::uint64_t nodes = 0, binsPerChunk = 0;
@@ -207,20 +397,24 @@ TraceReader::TraceReader(const std::string& path)
   ReadRaw(in_, binsPerChunk, "header");
   ICTM_REQUIRE(nodes > 0 && binsPerChunk > 0 && binSeconds > 0.0,
                "ictmb: malformed header fields: " + path);
+  // Keeps nodes² · 8 below 2^59 so the consistency check against the
+  // index can never overflow.
+  ICTM_REQUIRE(nodes <= (std::uint64_t{1} << 28),
+               "ictmb: header node count is implausible: " + path);
 
   // Footer → index offset → index frame.
   in_.seekg(0, std::ios::end);
-  const auto fileSize = static_cast<std::uint64_t>(in_.tellg());
-  ICTM_REQUIRE(fileSize >= 16,
+  fileSize_ = static_cast<std::uint64_t>(in_.tellg());
+  ICTM_REQUIRE(fileSize_ >= 16,
                "ictmb: truncated (no footer): " + path);
-  in_.seekg(static_cast<std::streamoff>(fileSize - 16));
+  in_.seekg(static_cast<std::streamoff>(fileSize_ - 16));
   std::uint64_t indexOffset = 0;
   ReadRaw(in_, indexOffset, "footer");
   std::array<char, 8> endMagic{};
   in_.read(endMagic.data(), endMagic.size());
   ICTM_REQUIRE(in_.good() && endMagic == kEndMagic,
                "ictmb: truncated or missing footer: " + path);
-  ICTM_REQUIRE(indexOffset < fileSize,
+  ICTM_REQUIRE(indexOffset < fileSize_,
                "ictmb: corrupt footer (index offset out of range): " +
                    path);
 
@@ -232,7 +426,7 @@ TraceReader::TraceReader(const std::string& path)
                    path);
   std::uint64_t chunkCount = 0;
   ReadRaw(in_, chunkCount, "index");
-  ICTM_REQUIRE(chunkCount <= fileSize / 16,
+  ICTM_REQUIRE(chunkCount <= fileSize_ / 16,
                "ictmb: corrupt index (chunk count too large): " + path);
   std::vector<std::uint64_t> words(2 * chunkCount + 1);
   in_.read(reinterpret_cast<char*>(words.data()),
@@ -249,7 +443,7 @@ TraceReader::TraceReader(const std::string& path)
   std::uint64_t firstBin = 0;
   for (std::uint64_t c = 0; c < chunkCount; ++c) {
     index_[c] = {words[2 * c], words[2 * c + 1], firstBin};
-    ICTM_REQUIRE(index_[c].binCount > 0 && index_[c].offset < fileSize,
+    ICTM_REQUIRE(index_[c].binCount > 0 && index_[c].offset < fileSize_,
                  "ictmb: corrupt index entry: " + path);
     firstBin += index_[c].binCount;
   }
@@ -257,13 +451,39 @@ TraceReader::TraceReader(const std::string& path)
   ICTM_REQUIRE(firstBin == totalBins,
                "ictmb: index bin counts do not sum to the total: " + path);
 
-  info_ = {static_cast<std::size_t>(nodes),
-           static_cast<std::size_t>(totalBins), binSeconds,
-           static_cast<std::size_t>(binsPerChunk),
-           static_cast<std::size_t>(chunkCount)};
+  // The header is not CRC-protected (a v1 legacy), so its node count
+  // must be cross-checked against the CRC-protected index before any
+  // caller sizes a buffer from it: even the strongest codec stores at
+  // least one byte per ~255 raw bytes (v1 stores payloads verbatim),
+  // so the implied raw size cannot exceed this multiple of the file.
+  const std::uint64_t maxExpand = version == kVersionV1 ? 1 : 512;
+  if (totalBins > 0) {
+    ICTM_REQUIRE(nodes * nodes * sizeof(double) <=
+                     fileSize_ * maxExpand / totalBins,
+                 "ictmb: header node count is inconsistent with the "
+                 "file size: " + path);
+  }
+
+  info_.nodes = static_cast<std::size_t>(nodes);
+  info_.bins = static_cast<std::size_t>(totalBins);
+  info_.binSeconds = binSeconds;
+  info_.binsPerChunk = static_cast<std::size_t>(binsPerChunk);
+  info_.chunks = static_cast<std::size_t>(chunkCount);
+  info_.version = version;
 }
 
-void TraceReader::loadChunk(std::size_t chunk) {
+TraceReader::~TraceReader() {
+  if (!prefetchStarted_) return;
+  {
+    std::lock_guard<std::mutex> lock(prefetchMutex_);
+    prefetchStop_ = true;
+  }
+  prefetchCv_.notify_all();
+  prefetchThread_.join();
+}
+
+void TraceReader::loadChunkData(std::istream& in, std::size_t chunk,
+                                std::vector<double>& bins) const {
   static obs::Counter& chunksRead = obs::GetCounter(
       "trace_io.chunks_read", obs::MetricClass::kDeterministic);
   static obs::Counter& bytesRead = obs::GetCounter(
@@ -276,30 +496,170 @@ void TraceReader::loadChunk(std::size_t chunk) {
   const bool recording = obs::Enabled();
   const std::uint64_t t0 = recording ? obs::Now() : 0;
   const ChunkRecord& rec = index_[chunk];
-  in_.clear();
-  in_.seekg(static_cast<std::streamoff>(rec.offset));
-  std::uint64_t payloadBytes = 0;
-  ReadRaw(in_, payloadBytes, "chunk length");
+  in.clear();
+  in.seekg(static_cast<std::streamoff>(rec.offset));
+  std::uint64_t storedBytes = 0;
+  ReadRaw(in, storedBytes, "chunk length");
   const std::uint64_t n2 = info_.nodes * info_.nodes;
-  ICTM_REQUIRE(payloadBytes == rec.binCount * n2 * sizeof(double),
-               "ictmb: chunk length disagrees with the index: " + path_);
-  chunk_.resize(static_cast<std::size_t>(payloadBytes / sizeof(double)));
-  in_.read(reinterpret_cast<char*>(chunk_.data()),
-           static_cast<std::streamsize>(payloadBytes));
-  ICTM_REQUIRE(in_.good(), "ictmb: truncated chunk payload: " + path_);
-  std::uint32_t storedCrc = 0;
-  ReadRaw(in_, storedCrc, "chunk CRC");
-  const std::uint64_t tCrc = recording ? obs::Now() : 0;
-  const std::uint32_t computedCrc = Crc32(chunk_.data(), payloadBytes);
-  if (recording) crcVerifyNs.add(obs::Now() - tCrc);
-  ICTM_REQUIRE(computedCrc == storedCrc,
-               "ictmb: chunk CRC mismatch (corrupt data) in chunk " +
-                   std::to_string(chunk) + ": " + path_);
-  loadedChunk_ = chunk;
+  const std::uint64_t rawExpected = rec.binCount * n2 * sizeof(double);
+
+  if (info_.version == kVersionV1) {
+    // v1 frame: payload length · payload doubles · CRC of payload.
+    ICTM_REQUIRE(storedBytes == rawExpected,
+                 "ictmb: chunk length disagrees with the index: " + path_);
+    bins.resize(static_cast<std::size_t>(rawExpected / sizeof(double)));
+    in.read(reinterpret_cast<char*>(bins.data()),
+            static_cast<std::streamsize>(storedBytes));
+    ICTM_REQUIRE(in.good(), "ictmb: truncated chunk payload: " + path_);
+    std::uint32_t storedCrc = 0;
+    ReadRaw(in, storedCrc, "chunk CRC");
+    const std::uint64_t tCrc = recording ? obs::Now() : 0;
+    const std::uint32_t computedCrc = Crc32(bins.data(), storedBytes);
+    if (recording) crcVerifyNs.add(obs::Now() - tCrc);
+    ICTM_REQUIRE(computedCrc == storedCrc,
+                 "ictmb: chunk CRC mismatch (corrupt data) in chunk " +
+                     std::to_string(chunk) + ": " + path_);
+  } else {
+    // v2 frame: stored length · codec tag · uncompressed length ·
+    // payload · CRC of (codec ‖ uncompressed length ‖ payload).  The
+    // length prefix is untrusted until these checks pass: it must fit
+    // inside the file and inside the codec's worst-case expansion of
+    // the index-declared bin count, so a forged prefix cannot trigger
+    // an oversized allocation or a read past EOF.
+    ICTM_REQUIRE(storedBytes <= fileSize_ - rec.offset,
+                 "ictmb: chunk length prefix runs past the end of the "
+                 "file: " + path_);
+    ICTM_REQUIRE(storedBytes <= LzBound(static_cast<std::size_t>(rawExpected)),
+                 "ictmb: chunk length exceeds the codec expansion bound: " +
+                     path_);
+    std::uint32_t codecTag = 0;
+    std::uint64_t rawBytes = 0;
+    ReadRaw(in, codecTag, "chunk codec tag");
+    ReadRaw(in, rawBytes, "chunk uncompressed length");
+    ICTM_REQUIRE(codecTag < kChunkCodecCount,
+                 "ictmb: unknown chunk codec tag " +
+                     std::to_string(codecTag) + ": " + path_);
+    ICTM_REQUIRE(rawBytes == rawExpected,
+                 "ictmb: chunk uncompressed length disagrees with the "
+                 "index: " + path_);
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(storedBytes));
+    in.read(reinterpret_cast<char*>(payload.data()),
+            static_cast<std::streamsize>(storedBytes));
+    ICTM_REQUIRE(in.good(), "ictmb: truncated chunk payload: " + path_);
+    std::uint32_t storedCrc = 0;
+    ReadRaw(in, storedCrc, "chunk CRC");
+    const std::uint64_t tCrc = recording ? obs::Now() : 0;
+    std::uint32_t crc = Crc32(&codecTag, sizeof codecTag);
+    crc = Crc32(&rawBytes, sizeof rawBytes, crc);
+    crc = Crc32(payload.data(), payload.size(), crc);
+    if (recording) crcVerifyNs.add(obs::Now() - tCrc);
+    ICTM_REQUIRE(crc == storedCrc,
+                 "ictmb: chunk CRC mismatch (corrupt data) in chunk " +
+                     std::to_string(chunk) + ": " + path_);
+    bins.resize(static_cast<std::size_t>(rawExpected / sizeof(double)));
+    DecodeChunk(static_cast<ChunkCodec>(codecTag), payload.data(),
+                payload.size(), bins.data(),
+                static_cast<std::size_t>(rec.binCount),
+                static_cast<std::size_t>(n2));
+  }
   if (recording) {
     chunksRead.add();
-    bytesRead.add(payloadBytes);
+    bytesRead.add(storedBytes);
     readNs.add(obs::Now() - t0);
+  }
+}
+
+void TraceReader::startPrefetch() {
+  prefetchStarted_ = true;
+  prefetchThread_ = std::thread([this] { prefetchLoop(); });
+}
+
+void TraceReader::prefetchLoop() {
+  // The prefetch thread owns its own file handle so the synchronous
+  // path's stream state never races with it.
+  std::ifstream in(path_, std::ios::binary);
+  for (;;) {
+    std::size_t chunk = SIZE_MAX;
+    {
+      std::unique_lock<std::mutex> lock(prefetchMutex_);
+      prefetchCv_.wait(lock, [&] {
+        return prefetchStop_ || prefetchRequest_ != SIZE_MAX;
+      });
+      if (prefetchStop_) return;
+      chunk = prefetchRequest_;
+      prefetchRequest_ = SIZE_MAX;
+    }
+    std::vector<double> bins;
+    std::exception_ptr error;
+    try {
+      ICTM_REQUIRE(in.is_open(),
+                   "cannot open file for reading: " + path_);
+      loadChunkData(in, chunk, bins);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(prefetchMutex_);
+      prefetchData_ = std::move(bins);
+      prefetchError_ = error;
+      prefetchResultChunk_ = chunk;
+    }
+    prefetchCv_.notify_all();
+  }
+}
+
+void TraceReader::requestPrefetch(std::size_t chunk) {
+  if (!prefetchStarted_) startPrefetch();
+  {
+    std::lock_guard<std::mutex> lock(prefetchMutex_);
+    if (prefetchResultChunk_ == chunk || prefetchRequest_ == chunk) return;
+    if (prefetchResultChunk_ != SIZE_MAX) {
+      // Stale unconsumed result (a seek moved elsewhere) — drop it,
+      // deferred error included.
+      prefetchResultChunk_ = SIZE_MAX;
+      prefetchData_.clear();
+      prefetchError_ = nullptr;
+    }
+    prefetchRequest_ = chunk;
+  }
+  prefetchCv_.notify_all();
+}
+
+bool TraceReader::consumePrefetch(std::size_t chunk) {
+  if (!prefetchStarted_) return false;
+  std::unique_lock<std::mutex> lock(prefetchMutex_);
+  if (prefetchRequest_ != chunk && prefetchResultChunk_ != chunk) {
+    // Nothing useful in flight; drop any stale result and let the
+    // caller load synchronously.
+    if (prefetchResultChunk_ != SIZE_MAX) {
+      prefetchResultChunk_ = SIZE_MAX;
+      prefetchData_.clear();
+      prefetchError_ = nullptr;
+    }
+    return false;
+  }
+  prefetchCv_.wait(lock, [&] { return prefetchResultChunk_ == chunk; });
+  std::exception_ptr error = prefetchError_;
+  prefetchError_ = nullptr;
+  prefetchResultChunk_ = SIZE_MAX;
+  if (error) {
+    // A prefetch failure surfaces exactly when its chunk is demanded.
+    prefetchData_.clear();
+    std::rethrow_exception(error);
+  }
+  std::swap(chunk_, prefetchData_);
+  prefetchData_.clear();
+  loadedChunk_ = chunk;
+  return true;
+}
+
+void TraceReader::loadChunk(std::size_t chunk) {
+  if (!consumePrefetch(chunk)) {
+    loadChunkData(in_, chunk, chunk_);
+    loadedChunk_ = chunk;
+  }
+  if (options_.prefetch && chunk + 1 < index_.size()) {
+    requestPrefetch(chunk + 1);
   }
 }
 
@@ -348,8 +708,15 @@ traffic::TrafficMatrixSeries TraceReader::readAll() {
 void WriteTraceFile(const std::string& path,
                     const traffic::TrafficMatrixSeries& series,
                     std::size_t binsPerChunk) {
+  WriteTraceFile(path, series,
+                 TraceWriterOptions{binsPerChunk, ChunkCodec::kRaw, 0});
+}
+
+void WriteTraceFile(const std::string& path,
+                    const traffic::TrafficMatrixSeries& series,
+                    const TraceWriterOptions& options) {
   TraceWriter writer(path, series.nodeCount(), series.binSeconds(),
-                     binsPerChunk);
+                     options);
   for (std::size_t t = 0; t < series.binCount(); ++t) {
     writer.append(series.binData(t));
   }
@@ -364,10 +731,17 @@ traffic::TrafficMatrixSeries ReadTraceFile(const std::string& path) {
 void ConvertCsvToTrace(const std::string& csvPath,
                        const std::string& tracePath,
                        std::size_t binsPerChunk) {
+  ConvertCsvToTrace(csvPath, tracePath,
+                    TraceWriterOptions{binsPerChunk, ChunkCodec::kRaw, 0});
+}
+
+void ConvertCsvToTrace(const std::string& csvPath,
+                       const std::string& tracePath,
+                       const TraceWriterOptions& options) {
   std::ifstream in(csvPath);
   ICTM_REQUIRE(in.is_open(), "cannot open file for reading: " + csvPath);
   const traffic::CsvHeader h = traffic::ReadCsvHeader(in);
-  TraceWriter writer(tracePath, h.nodes, h.binSeconds, binsPerChunk);
+  TraceWriter writer(tracePath, h.nodes, h.binSeconds, options);
   std::vector<double> bin(h.nodes * h.nodes);
   for (std::size_t t = 0; t < h.bins; ++t) {
     traffic::ReadCsvBin(in, h, t, bin.data());
@@ -397,6 +771,34 @@ bool IsTraceFile(const std::string& path) {
   std::array<char, 8> magic{};
   in.read(magic.data(), magic.size());
   return in.good() && magic == kMagic;
+}
+
+// ---- repack ----------------------------------------------------------------
+
+RepackResult RepackTrace(const std::string& inPath,
+                         const std::string& outPath,
+                         const TraceWriterOptions& options) {
+  ICTM_REQUIRE(inPath != outPath,
+               "ictmb repack: input and output paths must differ: " +
+                   inPath);
+  TraceReaderOptions readerOptions;
+  readerOptions.prefetch = true;
+  TraceReader reader(inPath, readerOptions);
+  const TraceInfo info = reader.info();
+  TraceWriterOptions writerOptions = options;
+  if (writerOptions.binsPerChunk == 0) {
+    writerOptions.binsPerChunk = info.binsPerChunk;
+  }
+  TraceWriter writer(outPath, info.nodes, info.binSeconds, writerOptions);
+  std::vector<double> bin(info.nodes * info.nodes);
+  while (reader.next(bin.data())) writer.append(bin.data());
+  writer.close();
+
+  RepackResult result;
+  result.bins = info.bins;
+  result.inputBytes = FileSizeOf(inPath);
+  result.outputBytes = FileSizeOf(outPath);
+  return result;
 }
 
 }  // namespace ictm::stream

@@ -3,30 +3,48 @@
 // The batch pipelines parse O(n²·T) CSV text before the first estimate
 // can run; this format streams bins at memcpy speed with bounded
 // memory and supports random access.  Layout (native little-endian
-// byte order, validated by a sentinel):
+// byte order, validated by a sentinel; normative spec in
+// docs/FORMATS.md):
 //
 //   header   magic "ICTMB1\r\n" · byte-order sentinel · version ·
 //            nodes · binSeconds · binsPerChunk
-//   chunks   repeated frames: u64 payload length prefix ·
-//            payload (binCount · n² doubles) · u32 CRC-32 of payload
+//   chunks   repeated frames.  v2: u64 stored-payload length prefix ·
+//            u32 codec tag · u64 uncompressed length · payload ·
+//            u32 CRC-32 of (codec tag ‖ uncompressed length ‖
+//            payload).  v1 frames (still readable) have no codec tag
+//            or uncompressed length and the CRC covers the payload
+//            alone.
 //   index    frame with the length prefix set to the index marker:
 //            chunk count · per-chunk {file offset, bin count} ·
 //            total bins · u32 CRC-32 of the index
 //   footer   u64 index offset · end magic "ICTMBEOF"
 //
 // The trailing index makes the file self-describing (total bin count
-// without scanning) and gives TraceReader::seek O(1) random access;
-// the per-chunk CRC turns truncation and bit rot into loud errors
-// instead of corrupt estimates.  The \r\n in the magic catches
+// without scanning) and gives TraceReader::seek O(1) random access —
+// every chunk decodes independently of its neighbours, whatever its
+// codec.  The per-chunk CRC turns truncation and bit rot into loud
+// errors instead of corrupt estimates.  The \r\n in the magic catches
 // text-mode transfer damage, as in PNG.
+//
+// Writers always emit version 2.  Each chunk records the codec its
+// payload was actually stored with: a chunk whose compressed form
+// would not be smaller than raw falls back to `raw` per chunk, so a
+// codec can never inflate a file beyond the per-frame header cost.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <exception>
 #include <fstream>
+#include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "stream/codec.hpp"
 #include "traffic/tm_series.hpp"
 
 /// Streaming subsystem: chunked binary trace I/O, the online
@@ -40,6 +58,7 @@ struct TraceInfo {
   double binSeconds = 0.0;       ///< bin duration metadata
   std::size_t binsPerChunk = 0;  ///< frame granularity K
   std::size_t chunks = 0;        ///< number of chunk frames
+  std::uint32_t version = 0;     ///< container version (1 or 2)
 };
 
 /// CRC-32 (polynomial 0xEDB88320, the zlib/PNG one) of a byte range;
@@ -47,14 +66,35 @@ struct TraceInfo {
 std::uint32_t Crc32(const void* data, std::size_t len,
                     std::uint32_t seed = 0);
 
-/// Appends bins to an `ictmb` file without materialising the series:
-/// bins are buffered into frames of `binsPerChunk` and flushed with a
-/// length prefix and CRC.  close() writes the chunk index and footer;
-/// the destructor calls it as a fallback but swallows errors, so call
+/// TraceWriter knobs.
+struct TraceWriterOptions {
+  std::size_t binsPerChunk = 64;              ///< frame granularity K
+  ChunkCodec codec = ChunkCodec::kRaw;        ///< requested chunk codec
+  /// Compression worker threads.  0 encodes and writes inline on the
+  /// appending thread; N > 0 starts N compressors plus one writer
+  /// thread that lands frames in seal order, so the file bytes are
+  /// identical for every pool size.  Memory stays bounded: at most
+  /// ~3N sealed-or-encoded chunks are in flight and append() blocks
+  /// when the queue is full.
+  std::size_t compressThreads = 0;
+};
+
+/// Appends bins to an `ictmb` v2 file without materialising the
+/// series: bins are buffered into frames of `binsPerChunk`, encoded
+/// with the configured codec (falling back to raw per chunk when
+/// compression would not shrink it) and flushed with a self-describing
+/// frame header and CRC.  close() writes the chunk index and footer
+/// and is the sanctioned error-reporting path: any write failure —
+/// including one detected on a compression worker — surfaces there
+/// (or from an earlier append()) as ictm::Error.  The destructor
+/// calls close() as a last-resort fallback but swallows errors; call
 /// close() explicitly to observe IO failures.
 class TraceWriter {
  public:
   /// Opens `path` for writing and emits the header.
+  TraceWriter(const std::string& path, std::size_t nodes,
+              double binSeconds, const TraceWriterOptions& options);
+  /// Convenience overload: raw codec, inline encoding.
   TraceWriter(const std::string& path, std::size_t nodes,
               double binSeconds, std::size_t binsPerChunk = 64);
   /// Calls close() as a fallback, swallowing errors.
@@ -63,23 +103,47 @@ class TraceWriter {
   TraceWriter(const TraceWriter&) = delete;             ///< non-copyable
   TraceWriter& operator=(const TraceWriter&) = delete;  ///< non-copyable
 
-  /// Appends one bin (n² doubles in FlattenTm order).
+  /// Appends one bin (n² doubles in FlattenTm order).  Rethrows a
+  /// pending worker-pool failure instead of accepting more data.
   void append(const double* bin);
 
-  /// Flushes the current chunk and writes the index + footer; the
-  /// writer cannot append afterwards.  Throws on IO failure.
+  /// Flushes the current chunk, drains the worker pool and writes the
+  /// index + footer; the writer cannot append afterwards.  Throws
+  /// ictm::Error on any IO failure, including short writes and full
+  /// disks detected at the final flush.
   void close();
 
   /// Bins appended so far.
   std::size_t binsWritten() const noexcept { return binsWritten_; }
 
  private:
+  /// One encoded chunk ready to land on disk.
+  struct EncodedChunk {
+    ChunkCodec codec = ChunkCodec::kRaw;  // codec actually stored
+    std::uint64_t binCount = 0;
+    std::vector<std::uint8_t> payload;
+  };
+  /// One sealed chunk awaiting compression.
+  struct PendingChunk {
+    std::uint64_t seq = 0;
+    std::uint64_t binCount = 0;
+    std::vector<double> bins;
+  };
+
   void flushChunk();
+  void writeFrame(const EncodedChunk& chunk);
+  EncodedChunk encodeChunk(const double* bins, std::size_t binCount) const;
+  void startPool();
+  void enqueueChunk();
+  void compressLoop();
+  void writeLoop();
+  void setPoolError(std::exception_ptr error);
+  void shutdownPool();
 
   std::ofstream out_;
   std::string path_;
   std::size_t nodes_ = 0;
-  std::size_t binsPerChunk_ = 0;
+  TraceWriterOptions options_;
   std::size_t binsWritten_ = 0;
   std::vector<double> buffer_;  // partial chunk, <= binsPerChunk bins
   struct ChunkRecord {
@@ -88,15 +152,53 @@ class TraceWriter {
   };
   std::vector<ChunkRecord> index_;
   bool closed_ = false;
+
+  // Worker pool (only active when options_.compressThreads > 0).
+  // jobs_ is bounded by jobCapacity_; results_ is bounded by the
+  // reorder window (a worker holds its result until the write cursor
+  // is close enough), so total in-flight memory is bounded.
+  bool poolStarted_ = false;
+  std::vector<std::thread> compressors_;
+  std::thread writerThread_;
+  std::mutex poolMutex_;
+  std::condition_variable cvJob_;     // job available (compressors wait)
+  std::condition_variable cvSpace_;   // job/result space (producers wait)
+  std::condition_variable cvResult_;  // result available (writer waits)
+  std::deque<PendingChunk> jobs_;
+  std::map<std::uint64_t, EncodedChunk> results_;
+  std::size_t jobCapacity_ = 0;
+  std::size_t resultWindow_ = 0;
+  std::uint64_t sealed_ = 0;   // chunks handed to the pool
+  std::uint64_t written_ = 0;  // chunks landed on disk
+  bool done_ = false;          // no more chunks will be sealed
+  bool poolError_ = false;
+  std::exception_ptr firstError_;
 };
 
-/// Streams bins out of an `ictmb` file.  Construction validates the
-/// header, footer and index; each chunk's CRC is checked when the
-/// chunk is first read, so truncated or corrupted files fail loudly.
+/// TraceReader knobs.
+struct TraceReaderOptions {
+  /// Read and decode one chunk ahead on a background thread with its
+  /// own file handle, overlapping IO + decompression with the
+  /// caller's consumption.  Decoded bins are bit-identical to the
+  /// serial path; a prefetch failure is rethrown only when the failing
+  /// chunk is actually requested (and discarded if a seek skips it).
+  bool prefetch = false;
+};
+
+/// Streams bins out of an `ictmb` file (version 1 or 2).
+/// Construction validates the header, footer and index; each chunk's
+/// CRC is checked and its payload decoded when the chunk is first
+/// read, so truncated or corrupted files fail loudly.
 class TraceReader {
  public:
   /// Opens `path` and loads the trailing index.
-  explicit TraceReader(const std::string& path);
+  explicit TraceReader(const std::string& path,
+                       const TraceReaderOptions& options = {});
+  /// Joins the prefetch thread, if one was started.
+  ~TraceReader();
+
+  TraceReader(const TraceReader&) = delete;             ///< non-copyable
+  TraceReader& operator=(const TraceReader&) = delete;  ///< non-copyable
 
   /// The trace metadata.
   const TraceInfo& info() const noexcept { return info_; }
@@ -119,10 +221,21 @@ class TraceReader {
 
  private:
   void loadChunk(std::size_t chunk);
+  /// Reads + CRC-checks + decodes chunk `chunk` from `in` into `bins`.
+  /// Shared by the synchronous path and the prefetch thread (which
+  /// passes its own stream), so both decode identically.
+  void loadChunkData(std::istream& in, std::size_t chunk,
+                     std::vector<double>& bins) const;
+  void startPrefetch();
+  void requestPrefetch(std::size_t chunk);
+  bool consumePrefetch(std::size_t chunk);
+  void prefetchLoop();
 
   std::ifstream in_;
   std::string path_;
   TraceInfo info_;
+  std::uint64_t fileSize_ = 0;
+  TraceReaderOptions options_;
   struct ChunkRecord {
     std::uint64_t offset = 0;
     std::uint64_t binCount = 0;
@@ -132,12 +245,29 @@ class TraceReader {
   std::vector<double> chunk_;            // decoded bins of loadedChunk_
   std::size_t loadedChunk_ = SIZE_MAX;   // index into index_, or none
   std::size_t position_ = 0;             // next bin to serve
+
+  // Prefetch state (only active when options_.prefetch).  The thread
+  // owns its own ifstream; this block is the only shared state.
+  bool prefetchStarted_ = false;
+  std::thread prefetchThread_;
+  std::mutex prefetchMutex_;
+  std::condition_variable prefetchCv_;
+  bool prefetchStop_ = false;
+  std::size_t prefetchRequest_ = SIZE_MAX;      // chunk to fetch next
+  std::size_t prefetchResultChunk_ = SIZE_MAX;  // chunk held in result
+  std::vector<double> prefetchData_;
+  std::exception_ptr prefetchError_;
 };
 
 /// Writes a whole series as one `ictmb` file.
 void WriteTraceFile(const std::string& path,
                     const traffic::TrafficMatrixSeries& series,
                     std::size_t binsPerChunk = 64);
+
+/// Writes a whole series as one `ictmb` file with full writer options.
+void WriteTraceFile(const std::string& path,
+                    const traffic::TrafficMatrixSeries& series,
+                    const TraceWriterOptions& options);
 
 /// Reads a whole `ictmb` file into a series.
 traffic::TrafficMatrixSeries ReadTraceFile(const std::string& path);
@@ -148,6 +278,11 @@ void ConvertCsvToTrace(const std::string& csvPath,
                        const std::string& tracePath,
                        std::size_t binsPerChunk = 64);
 
+/// Converts a TM CSV into an `ictmb` trace with full writer options.
+void ConvertCsvToTrace(const std::string& csvPath,
+                       const std::string& tracePath,
+                       const TraceWriterOptions& options);
+
 /// Converts an `ictmb` trace back into the TM CSV format, streaming
 /// one bin at a time.
 void ConvertTraceToCsv(const std::string& tracePath,
@@ -156,5 +291,22 @@ void ConvertTraceToCsv(const std::string& tracePath,
 /// True when the file starts with the `ictmb` magic (format sniffing
 /// for CLI inputs that may be CSV or binary).
 bool IsTraceFile(const std::string& path);
+
+/// Statistics of one RepackTrace run.
+struct RepackResult {
+  std::uint64_t bins = 0;         ///< bins copied
+  std::uint64_t inputBytes = 0;   ///< input file size
+  std::uint64_t outputBytes = 0;  ///< output file size
+};
+
+/// Rewrites the trace at `inPath` (version 1 or 2, any codec) to
+/// `outPath` as version 2 with `options` — bounded memory, one chunk
+/// at a time, prefetching the input.  `options.binsPerChunk == 0`
+/// keeps the input's chunking.  Bin payloads are preserved
+/// bit-exactly; repacking with identical options is idempotent
+/// (byte-identical output).
+RepackResult RepackTrace(const std::string& inPath,
+                         const std::string& outPath,
+                         const TraceWriterOptions& options);
 
 }  // namespace ictm::stream

@@ -23,6 +23,9 @@
 //               trace file; output matches `ictm stream` byte for byte
 //   convert     convert between the TM CSV format and the ictmb
 //               chunked binary trace format (direction auto-detected)
+//   repack      rewrite an ictmb trace (v1 or v2, any codec) as ictmb
+//               v2 with a chosen chunk codec, printing per-codec
+//               compression statistics
 //   topo        topology workbench: list the registry, show stats,
 //               generate .ictp files from the synthetic generators,
 //               export any spec to canonical .ictp
@@ -209,6 +212,8 @@ int Usage() {
                "                    (yesterday's fit; default 0.25)\n"
                "      --out DIR     write DIR/estimates.ictmb and\n"
                "                    DIR/priors.ictmb\n"
+               "      --codec C     chunk codec for the --out traces\n"
+               "                    (raw|shuffle-lz|delta; default raw)\n"
                "      --solver K    normal-equations backend (auto\n"
                "                    picks by problem size; default)\n"
                "      --trace-out FILE   Chrome trace_event JSON of the\n"
@@ -246,7 +251,7 @@ int Usage() {
                "           [--window W] [--queue C] [--f F]\n"
                "           [--solver dense|sparse|cg|auto]\n"
                "           [--session KEY] [--resume] [--have N]\n"
-               "           [--out DIR]\n"
+               "           [--out DIR] [--codec C]\n"
                "      stream a trace through a running server; same\n"
                "      estimation options as `ictm stream`, and for the\n"
                "      same trace/topology/options the outputs are\n"
@@ -261,10 +266,25 @@ int Usage() {
                "                    tail from frame N on)\n"
                "      --out DIR     write DIR/estimates.ictmb and\n"
                "                    DIR/priors.ictmb\n"
-               "  ictm convert <in> <out> [--chunk K]\n"
+               "      --codec C     chunk codec for the --out traces\n"
+               "                    (raw|shuffle-lz|delta; default raw)\n"
+               "  ictm convert <in> <out> [--chunk K] [--codec C]\n"
                "      convert TM CSV -> ictmb binary trace or back\n"
                "      (direction auto-detected from the input magic);\n"
-               "      --chunk K sets bins per chunk (default 64)\n"
+               "      --chunk K sets bins per chunk (default 64) and\n"
+               "      --codec C the chunk codec (raw|shuffle-lz|delta;\n"
+               "      default raw) when the output is ictmb\n"
+               "  ictm repack <in.ictmb> <out.ictmb> [--codec C]\n"
+               "           [--chunk K] [--threads N]\n"
+               "      rewrite a trace (version 1 or 2, any codec) as\n"
+               "      ictmb v2 with the chosen chunk codec and print\n"
+               "      per-codec compression statistics\n"
+               "      --codec C    raw|shuffle-lz|delta (default delta)\n"
+               "      --chunk K    bins per chunk (default: keep the\n"
+               "                   input's chunking)\n"
+               "      --threads N  compression worker threads (0 =\n"
+               "                   compress inline, the default; output\n"
+               "                   bytes are identical for every N)\n"
                "  ictm topo list [--json]\n"
                "      list the topology registry (canned names and\n"
                "      generator families with their spec syntax)\n"
@@ -320,6 +340,56 @@ core::SolverKind ParseSolver(const char* arg) {
                      " (expected dense|sparse|cg|auto)");
   }
   return kind;
+}
+
+stream::ChunkCodec ParseCodec(const char* arg) {
+  stream::ChunkCodec codec = stream::ChunkCodec::kRaw;
+  if (!stream::ParseChunkCodec(arg, &codec)) {
+    throw UsageError(std::string("unknown codec: ") + arg +
+                     " (expected raw|shuffle-lz|delta)");
+  }
+  return codec;
+}
+
+// Per-codec compression statistics from the metrics registry
+// (trace_codec.<name>.*), printed after a repack so the effect of the
+// chosen codec — including per-chunk raw fallbacks — is visible.
+void PrintCodecStats() {
+  const obs::MetricsSnapshot snap = obs::Registry::Instance().snapshot();
+  std::map<std::string, std::uint64_t> values;
+  for (const auto& c : snap.counters) values[c.name] = c.value;
+  const auto value = [&values](const std::string& name) -> std::uint64_t {
+    const auto it = values.find(name);
+    return it == values.end() ? 0 : it->second;
+  };
+  for (std::size_t i = 0; i < stream::kChunkCodecCount; ++i) {
+    const char* name =
+        stream::ChunkCodecName(static_cast<stream::ChunkCodec>(i));
+    const std::string prefix = std::string("trace_codec.") + name + ".";
+    const std::uint64_t cChunks = value(prefix + "compress_chunks");
+    const std::uint64_t dChunks = value(prefix + "decompress_chunks");
+    if (cChunks > 0) {
+      const std::uint64_t in = value(prefix + "compress_bytes_in");
+      const std::uint64_t out = value(prefix + "compress_bytes_out");
+      std::printf("  %-10s compressed %llu chunk(s): %llu -> %llu bytes "
+                  "(%.2fx) in %.1f ms\n",
+                  name, static_cast<unsigned long long>(cChunks),
+                  static_cast<unsigned long long>(in),
+                  static_cast<unsigned long long>(out),
+                  out > 0 ? double(in) / double(out) : 0.0,
+                  double(value(prefix + "compress_ns")) / 1e6);
+    }
+    if (dChunks > 0) {
+      const std::uint64_t in = value(prefix + "decompress_bytes_in");
+      const std::uint64_t out = value(prefix + "decompress_bytes_out");
+      std::printf("  %-10s decompressed %llu chunk(s): %llu -> %llu "
+                  "bytes in %.1f ms\n",
+                  name, static_cast<unsigned long long>(dChunks),
+                  static_cast<unsigned long long>(in),
+                  static_cast<unsigned long long>(out),
+                  double(value(prefix + "decompress_ns")) / 1e6);
+    }
+  }
 }
 
 int CmdList(int argc, char** argv) {
@@ -630,6 +700,7 @@ int CmdStream(int argc, char** argv) {
   std::uint64_t topoSeed = 0;
   stream::StreamingOptions options;
   options.threads = 0;  // saturate by default
+  stream::ChunkCodec codec = stream::ChunkCodec::kRaw;
   ObsOutputs obsOut;
 
   for (int i = 3; i < argc; ++i) {
@@ -650,6 +721,8 @@ int CmdStream(int argc, char** argv) {
       options.f = ParseDouble(argv[++i], "f");
     } else if (arg == "--solver" && i + 1 < argc) {
       options.estimation.solver = ParseSolver(argv[++i]);
+    } else if (arg == "--codec" && i + 1 < argc) {
+      codec = ParseCodec(argv[++i]);
     } else if (arg == "--out" && i + 1 < argc) {
       outDir = argv[++i];
     } else {
@@ -666,7 +739,8 @@ int CmdStream(int argc, char** argv) {
   std::ifstream csv;
   traffic::CsvHeader csvHeader;
   if (stream::IsTraceFile(inPath)) {
-    trace.emplace(inPath);
+    // One-chunk-ahead prefetch overlaps decompression with estimation.
+    trace.emplace(inPath, stream::TraceReaderOptions{true});
     csvHeader = {trace->info().nodes, trace->info().bins,
                  trace->info().binSeconds};
   } else {
@@ -697,10 +771,16 @@ int CmdStream(int argc, char** argv) {
   std::optional<stream::TraceWriter> estWriter, priorWriter;
   if (!outDir.empty()) {
     std::filesystem::create_directories(outDir);
+    stream::TraceWriterOptions writerOptions;
+    writerOptions.codec = codec;
+    // File bytes are identical for any pool size, so one background
+    // compressor is pure overlap when a real codec is selected.
+    writerOptions.compressThreads =
+        codec == stream::ChunkCodec::kRaw ? 0 : 1;
     estWriter.emplace(outDir + "/estimates.ictmb", nodes,
-                      csvHeader.binSeconds);
+                      csvHeader.binSeconds, writerOptions);
     priorWriter.emplace(outDir + "/priors.ictmb", nodes,
-                        csvHeader.binSeconds);
+                        csvHeader.binSeconds, writerOptions);
   }
 
   // Truth bins in flight between push and emission, for per-bin
@@ -987,6 +1067,7 @@ int CmdClient(int argc, char** argv) {
   std::string outDir;
   server::ClientConfig config;
   std::size_t threadsOpt = 0;
+  stream::ChunkCodec codec = stream::ChunkCodec::kRaw;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--connect" && i + 1 < argc) {
@@ -1014,6 +1095,8 @@ int CmdClient(int argc, char** argv) {
     } else if (arg == "--have" && i + 1 < argc) {
       config.hello.clientFrames = static_cast<std::uint64_t>(ParseSize(
           argv[++i], "have", 0, std::numeric_limits<long>::max()));
+    } else if (arg == "--codec" && i + 1 < argc) {
+      codec = ParseCodec(argv[++i]);
     } else if (arg == "--out" && i + 1 < argc) {
       outDir = argv[++i];
     } else {
@@ -1053,10 +1136,14 @@ int CmdClient(int argc, char** argv) {
   std::optional<stream::TraceWriter> estWriter, priorWriter;
   if (!outDir.empty()) {
     std::filesystem::create_directories(outDir);
+    stream::TraceWriterOptions writerOptions;
+    writerOptions.codec = codec;
+    writerOptions.compressThreads =
+        codec == stream::ChunkCodec::kRaw ? 0 : 1;
     estWriter.emplace(outDir + "/estimates.ictmb", nodes,
-                      truth.binSeconds());
+                      truth.binSeconds(), writerOptions);
     priorWriter.emplace(outDir + "/priors.ictmb", nodes,
-                        truth.binSeconds());
+                        truth.binSeconds(), writerOptions);
   }
   std::vector<double> estimate(nodes * nodes), prior(nodes * nodes);
   const server::ClientResult result = server::Client::Run(
@@ -1114,23 +1201,74 @@ int CmdConvert(int argc, char** argv) {
   const std::string inPath = argv[2];
   const std::string outPath = argv[3];
   std::size_t binsPerChunk = 64;
+  stream::ChunkCodec codec = stream::ChunkCodec::kRaw;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--chunk" && i + 1 < argc) {
       binsPerChunk = ParseSize(argv[++i], "chunk", 1, 1 << 20);
+    } else if (arg == "--codec" && i + 1 < argc) {
+      codec = ParseCodec(argv[++i]);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return Usage();
     }
   }
   if (stream::IsTraceFile(inPath)) {
+    // ictmb -> CSV: the output is text, so --codec has no effect.
     stream::ConvertTraceToCsv(inPath, outPath);
     std::printf("converted ictmb -> CSV: %s\n", outPath.c_str());
   } else {
-    stream::ConvertCsvToTrace(inPath, outPath, binsPerChunk);
-    std::printf("converted CSV -> ictmb: %s (%zu bins/chunk)\n",
-                outPath.c_str(), binsPerChunk);
+    stream::TraceWriterOptions options;
+    options.binsPerChunk = binsPerChunk;
+    options.codec = codec;
+    stream::ConvertCsvToTrace(inPath, outPath, options);
+    std::printf("converted CSV -> ictmb: %s (%zu bins/chunk, codec %s)\n",
+                outPath.c_str(), binsPerChunk,
+                stream::ChunkCodecName(codec));
   }
+  return 0;
+}
+
+int CmdRepack(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string inPath = argv[2];
+  const std::string outPath = argv[3];
+  stream::TraceWriterOptions options;
+  options.binsPerChunk = 0;  // keep the input's chunking
+  options.codec = stream::ChunkCodec::kDelta;
+  options.compressThreads = 0;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--codec" && i + 1 < argc) {
+      options.codec = ParseCodec(argv[++i]);
+    } else if (arg == "--chunk" && i + 1 < argc) {
+      options.binsPerChunk = ParseSize(argv[++i], "chunk", 1, 1 << 20);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      options.compressThreads = ParseThreads(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const stream::RepackResult result =
+      stream::RepackTrace(inPath, outPath, options);
+  const double sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count();
+  std::printf("repacked %llu bin(s) as %s: %llu -> %llu bytes (%.2fx) "
+              "in %.3f s\n",
+              static_cast<unsigned long long>(result.bins),
+              stream::ChunkCodecName(options.codec),
+              static_cast<unsigned long long>(result.inputBytes),
+              static_cast<unsigned long long>(result.outputBytes),
+              result.outputBytes > 0
+                  ? double(result.inputBytes) / double(result.outputBytes)
+                  : 0.0,
+              sec);
+  PrintCodecStats();
   return 0;
 }
 
@@ -1310,6 +1448,8 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "client") == 0) return CmdClient(argc, argv);
     if (std::strcmp(argv[1], "convert") == 0)
       return CmdConvert(argc, argv);
+    if (std::strcmp(argv[1], "repack") == 0)
+      return CmdRepack(argc, argv);
     if (std::strcmp(argv[1], "topo") == 0) return CmdTopo(argc, argv);
   } catch (const UsageError& e) {
     std::fprintf(stderr,

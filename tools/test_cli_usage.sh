@@ -63,6 +63,18 @@ expect_usage_error run fig2_example --seed -1
 expect_usage_error estimate "$WORK/tm.csv" --frobnicate
 expect_usage_error stream "$WORK/tm.csv" --frobnicate
 
+# Unknown --codec values are rejected on every writer surface, and
+# repack enforces the same usage contract as the other subcommands.
+expect_usage_error stream "$WORK/tm.csv" --codec bogus
+expect_usage_error convert "$WORK/tm.csv" "$WORK/tm.ictmb" --codec bogus
+expect_usage_error client "$WORK/tm.csv" --connect "unix:$WORK/s.sock" --codec bogus
+expect_usage_error repack
+expect_usage_error repack "$WORK/tm.ictmb"
+expect_usage_error repack "$WORK/in.ictmb" "$WORK/out.ictmb" --codec bogus
+expect_usage_error repack "$WORK/in.ictmb" "$WORK/out.ictmb" --chunk abc
+expect_usage_error repack "$WORK/in.ictmb" "$WORK/out.ictmb" --threads abc
+expect_usage_error repack "$WORK/in.ictmb" "$WORK/out.ictmb" --frobnicate
+
 # The serve/client surfaces enforce the same option contract — in
 # particular the `--queue 0` class of bug is a usage error on every
 # surface that has a queue.
